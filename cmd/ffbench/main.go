@@ -1,0 +1,170 @@
+// Command ffbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	ffbench table1  [-k 32] [-seed 1] [-budget 10s] [-scale paper|small]
+//	ffbench figure1 [-k 32] [-seed 1] [-budget 30s] [-scale paper|small]
+//	ffbench ablation [-seed 1] [-budget 2s]
+//
+// table1 prints the seventeen-method comparison under Cut/Ncut/Mcut (the
+// paper's Table 1); figure1 prints the anytime Mcut traces of the three
+// metaheuristics with the spectral/multilevel reference levels (the paper's
+// Figure 1); ablation quantifies fusion-fission's design choices
+// (percolation fission, law learning, part-count drift).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/objective"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		k      = fs.Int("k", 32, "number of parts")
+		seed   = fs.Int64("seed", 1, "random seed")
+		budget = fs.Duration("budget", 0, "metaheuristic budget (0 = command default)")
+		scale  = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	g, err := instance(*scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d sectors, %d flow edges, total flow weight %.0f; k = %d, seed = %d\n\n",
+		g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight(), *k, *seed)
+
+	switch cmd {
+	case "table1":
+		b := *budget
+		if b == 0 {
+			b = 10 * time.Second
+		}
+		rows := experiments.Table1(g, experiments.Table1Options{K: *k, Seed: *seed, MetaBudget: b})
+		fmt.Println("Table 1 — comparisons between algorithms (metaheuristic budget", b, "per objective)")
+		fmt.Print(experiments.FormatTable1(rows))
+	case "figure1":
+		b := *budget
+		if b == 0 {
+			b = 30 * time.Second
+		}
+		res, err := experiments.Figure1(g, experiments.Figure1Options{K: *k, Seed: *seed, Budget: b})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 1 — best Mcut over time (budget", b, "per metaheuristic)")
+		fmt.Print(experiments.FormatFigure1(res))
+	case "ablation":
+		b := *budget
+		if b == 0 {
+			b = 5 * time.Second
+		}
+		runAblation(g, *k, *seed, b)
+	case "variance":
+		b := *budget
+		if b == 0 {
+			b = 2 * time.Second
+		}
+		rows, err := experiments.RunVariance(g, experiments.VarianceOptions{
+			K: *k, Budget: b, Objective: objective.MCut,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Run-to-run variance over 8 seeds (Mcut, budget", b, "per run, parallel):")
+		fmt.Print(experiments.FormatVariance(rows))
+	default:
+		usage()
+	}
+}
+
+func instance(scale string, seed int64) (*graph.Graph, error) {
+	switch scale {
+	case "paper":
+		spec := airspace.Default()
+		spec.Seed = seed
+		g, _, err := airspace.Generate(spec)
+		return g, err
+	case "small":
+		g, _, err := airspace.Generate(airspace.Spec{
+			Sectors: 180, Edges: 640, Hubs: 12, Flights: 8000, Seed: seed,
+		})
+		return g, err
+	}
+	return nil, fmt.Errorf("unknown scale %q", scale)
+}
+
+// runAblation quantifies the fusion-fission design choices DESIGN.md calls
+// out: percolation fission vs random splits, law learning vs uniform laws,
+// and the value of letting the part count drift.
+func runAblation(g *graph.Graph, k int, seed int64, budget time.Duration) {
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	base := core.Options{Objective: objective.MCut, Budget: budget, MaxSteps: 1 << 30, Seed: seed}
+	vs := []variant{
+		{"full fusion-fission", base},
+		{"random splits (no percolation)", withf(base, func(o *core.Options) { o.DisablePercolationFission = true })},
+		{"uniform laws (no learning)", withf(base, func(o *core.Options) { o.DisableLawLearning = true })},
+	}
+	fmt.Printf("Ablation — Mcut at k=%d, budget %s per variant\n\n", k, budget)
+	fmt.Printf("%-34s %10s %8s\n", "variant", "Mcut", "steps")
+	for _, v := range vs {
+		res, err := core.Partition(g, k, v.opt)
+		if err != nil {
+			fmt.Printf("%-34s ERROR: %v\n", v.name, err)
+			continue
+		}
+		fmt.Printf("%-34s %10.2f %8d\n", v.name, res.Energy, res.Steps)
+	}
+
+	// Part-count drift: the paper reports FF returns good solutions from
+	// 27 to 38 parts around the 32-part target.
+	res, err := core.Partition(g, k, base)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nPart-count drift around the target (best Mcut per k'):\n")
+	fmt.Printf("%6s %10s\n", "k'", "Mcut")
+	for kk := k - 6; kk <= k+6; kk++ {
+		if m, ok := res.BestPerK[kk]; ok {
+			fmt.Printf("%6d %10.2f\n", kk, m)
+		}
+	}
+}
+
+func withf(o core.Options, f func(*core.Options)) core.Options {
+	f(&o)
+	return o
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance> [flags]
+  table1   reproduce the paper's Table 1 (17 methods x 3 objectives)
+  figure1  reproduce the paper's Figure 1 (anytime Mcut traces)
+  ablation quantify fusion-fission design choices
+  variance metaheuristic spread over 8 seeds (parallel runs)
+flags: -k N -seed N -budget DUR -scale paper|small`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffbench:", err)
+	os.Exit(1)
+}

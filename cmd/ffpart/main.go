@@ -1,0 +1,160 @@
+// Command ffpart partitions a graph with any of the seventeen methods of
+// the paper's Table 1.
+//
+// Usage:
+//
+//	ffpart -graph mesh.graph -k 32 -method fusion-fission -out parts.txt
+//	ffpart -gen airspace -k 32 -method multilevel-bi
+//	ffpart -gen grid:64x64 -k 8 -method spectral-lanc-bi-kl
+//	ffpart -gen geometric:500:0.08 -k 16 -method annealing -budget 5s
+//
+// The output file holds one part id per line, vertex order. With -out
+// omitted, only the summary is printed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	ff "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph in METIS/Chaco format")
+		gen       = flag.String("gen", "", "generate input instead: airspace | grid:RxC | torus:RxC | geometric:N:RADIUS | gnp:N:P")
+		k         = flag.Int("k", 32, "number of parts")
+		method    = flag.String("method", "fusion-fission", "method id; -list shows all")
+		obj       = flag.String("objective", "mcut", "objective for metaheuristics: cut | ncut | mcut")
+		seed      = flag.Int64("seed", 1, "random seed")
+		budget    = flag.Duration("budget", 2*time.Second, "time budget for metaheuristics")
+		steps     = flag.Int("steps", 0, "optional step cap for metaheuristics (0 = none)")
+		out       = flag.String("out", "", "write the partition here (one part id per line)")
+		list      = flag.Bool("list", false, "list available methods and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range ff.Methods() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	g, err := loadGraph(*graphPath, *gen, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ff.Partition(g, ff.Options{
+		K: *k, Method: *method, Objective: *obj,
+		Seed: *seed, Budget: *budget, MaxSteps: *steps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph:      %d vertices, %d edges (total weight %.0f)\n",
+		g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight())
+	fmt.Printf("method:     %s (objective %s, seed %d)\n", res.Method, *obj, *seed)
+	fmt.Printf("parts:      %d\n", res.NumParts)
+	fmt.Printf("Cut:        %.1f   (paper convention; edge cut = %.1f)\n", res.Cut, res.Cut/2)
+	fmt.Printf("Ncut:       %.4f\n", res.Ncut)
+	fmt.Printf("Mcut:       %.4f\n", res.Mcut)
+	fmt.Printf("imbalance:  %.2f%%\n", res.Imbalance*100)
+	fmt.Printf("elapsed:    %s\n", res.Elapsed.Round(time.Millisecond))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, p := range res.Parts {
+			fmt.Fprintln(w, p)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("partition written to %s\n", *out)
+	}
+}
+
+func loadGraph(path, gen string, seed int64) (*ff.Graph, error) {
+	switch {
+	case path != "" && gen != "":
+		return nil, fmt.Errorf("use either -graph or -gen, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ff.ReadMETIS(f)
+	case gen != "":
+		return generate(gen, seed)
+	}
+	return nil, fmt.Errorf("no input: pass -graph FILE or -gen SPEC")
+}
+
+func generate(spec string, seed int64) (*ff.Graph, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "airspace":
+		s := ff.DefaultAirspace()
+		s.Seed = seed
+		g, _, err := ff.GenerateAirspace(s)
+		return g, err
+	case "grid", "torus":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("want %s:RxC", parts[0])
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("want %s:RxC", parts[0])
+		}
+		r, err1 := strconv.Atoi(dims[0])
+		c, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return nil, fmt.Errorf("bad dimensions %q", parts[1])
+		}
+		if parts[0] == "grid" {
+			return graph.Grid2D(r, c), nil
+		}
+		return graph.Torus2D(r, c), nil
+	case "geometric":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("want geometric:N:RADIUS")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		rad, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad geometric spec %q", spec)
+		}
+		return graph.RandomGeometric(n, rad, seed), nil
+	case "gnp":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("want gnp:N:P")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		p, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad gnp spec %q", spec)
+		}
+		return graph.GNP(n, p, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", parts[0])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffpart:", err)
+	os.Exit(1)
+}

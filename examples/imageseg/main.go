@@ -1,0 +1,93 @@
+// Image segmentation: the Shi-Malik normalized-cut application cited by the
+// paper (section 1, [25]). A synthetic grayscale image — two bright blobs on
+// a graded background — becomes a grid graph whose edge weights are pixel
+// similarities; partitioning under Ncut separates the blobs.
+//
+// Spectral partitioning is the classical tool here; the example shows the
+// metaheuristic matching or beating it on the Ncut objective, the paper's
+// point about criterion-adaptive methods.
+//
+//	go run ./examples/imageseg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	ff "repro"
+)
+
+const (
+	rows = 28
+	cols = 28
+)
+
+// brightness builds the synthetic image: two gaussian blobs on a ramp.
+func brightness(r, c int) float64 {
+	blob := func(cr, cc, s float64) float64 {
+		dr, dc := float64(r)-cr, float64(c)-cc
+		return math.Exp(-(dr*dr + dc*dc) / (2 * s * s))
+	}
+	return 0.15*float64(c)/cols + blob(8, 8, 3.5) + blob(19, 20, 4)
+}
+
+func main() {
+	// Pixel similarity: strong for similar brightness, weak across edges.
+	img := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			img[r*cols+c] = brightness(r, c)
+		}
+	}
+	b := ff.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				b.AddEdge(v, v+1, similarity(img[v], img[v+1]))
+			}
+			if r+1 < rows {
+				b.AddEdge(v, v+cols, similarity(img[v], img[v+cols]))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image graph: %dx%d pixels, %d similarity edges\n\n", rows, cols, g.NumEdges())
+
+	var ffParts []int32
+	for _, method := range []string{"spectral-lanc-bi-kl", "fusion-fission", "annealing"} {
+		res, err := ff.Partition(g, ff.Options{
+			K: 3, Method: method, Objective: "ncut",
+			Seed: 11, Budget: 2 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s Ncut = %.4f  (%s)\n", method, res.Ncut, res.Elapsed.Round(time.Millisecond))
+		if method == "fusion-fission" {
+			ffParts = res.Parts
+		}
+	}
+
+	// ASCII rendering of the fusion-fission segmentation.
+	fmt.Println("\nfusion-fission segmentation (3 segments):")
+	glyphs := []byte(".#o+*")
+	for r := 0; r < rows; r++ {
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			line[c] = glyphs[int(ffParts[r*cols+c])%len(glyphs)]
+		}
+		fmt.Println(string(line))
+	}
+}
+
+// similarity maps a brightness difference to an edge weight in (0, 10].
+func similarity(a, b float64) float64 {
+	d := a - b
+	return 10*math.Exp(-d*d/0.02) + 0.01
+}

@@ -1,0 +1,203 @@
+// Package fusionfission is the public facade of this repository: a Go
+// implementation of the fusion-fission graph-partitioning metaheuristic of
+// Bichot (IPPS 2006), together with every method the paper compares it
+// against — linear, spectral (Lanczos and RQI), multilevel, percolation,
+// simulated annealing and ant colony — and the synthetic European-airspace
+// workload the paper evaluates on.
+//
+// Quick start:
+//
+//	b := fusionfission.NewBuilder(4)
+//	b.AddEdge(0, 1, 1)
+//	b.AddEdge(1, 2, 1)
+//	b.AddEdge(2, 3, 1)
+//	g, _ := b.Build()
+//	res, _ := fusionfission.Partition(g, fusionfission.Options{K: 2})
+//	fmt.Println(res.Parts, res.Mcut)
+//
+// The heavy lifting lives in the internal packages (internal/core is the
+// metaheuristic itself); this package provides a stable, string-keyed entry
+// point used by the cmd/ tools and the examples.
+package fusionfission
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+)
+
+// Graph is the weighted undirected graph type all methods operate on.
+type Graph = graph.Graph
+
+// Builder incrementally constructs a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadMETIS parses a graph in METIS/Chaco format.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(r) }
+
+// WriteMETIS writes a graph in METIS/Chaco format.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// AirspaceSpec parameterizes the synthetic European core-area workload.
+type AirspaceSpec = airspace.Spec
+
+// AirspaceMeta describes the generated geography.
+type AirspaceMeta = airspace.Meta
+
+// GenerateAirspace builds the synthetic 762-sector / 3165-edge European
+// core-area graph (or a rescaled variant via spec).
+func GenerateAirspace(spec AirspaceSpec) (*Graph, *AirspaceMeta, error) {
+	return airspace.Generate(spec)
+}
+
+// DefaultAirspace returns the paper-sized airspace specification.
+func DefaultAirspace() AirspaceSpec { return airspace.Default() }
+
+// methodIDs maps stable kebab-case identifiers to Table 1 row labels.
+var methodIDs = map[string]string{
+	"linear-bi":            "Linear (Bi)",
+	"linear-bi-kl":         "Linear (Bi, KL)",
+	"linear-oct-kl":        "Linear (Oct, KL)",
+	"spectral-lanc-bi":     "Spectral (Lanc, Bi)",
+	"spectral-lanc-bi-kl":  "Spectral (Lanc, Bi, KL)",
+	"spectral-lanc-oct":    "Spectral (Lanc, Oct)",
+	"spectral-lanc-oct-kl": "Spectral (Lanc, Oct, KL)",
+	"spectral-rqi-bi":      "Spectral (RQI, Bi)",
+	"spectral-rqi-bi-kl":   "Spectral (RQI, Bi, KL)",
+	"spectral-rqi-oct":     "Spectral (RQI, Oct)",
+	"spectral-rqi-oct-kl":  "Spectral (RQI, Oct, KL)",
+	"multilevel-bi":        "Multilevel (Bi)",
+	"multilevel-oct":       "Multilevel (Oct)",
+	"percolation":          "Percolation",
+	"annealing":            "Simulated annealing",
+	"ant-colony":           "Ant colony",
+	"fusion-fission":       "Fusion Fission",
+}
+
+// extensionIDs maps identifiers for the methods beyond the paper's Table 1
+// (see experiments.ExtensionMethods).
+var extensionIDs = map[string]string{
+	"random":                  "Random",
+	"scattered":               "Scattered",
+	"multilevel-kway":         "Multilevel (KWay)",
+	"genetic":                 "Genetic algorithm",
+	"fusion-fission-ensemble": "Fusion Fission (ensemble)",
+}
+
+// Methods returns the identifiers of the paper's seventeen Table 1 methods,
+// sorted.
+func Methods() []string {
+	out := make([]string, 0, len(methodIDs))
+	for id := range methodIDs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtensionMethods returns the identifiers of the methods this repository
+// provides beyond the paper's table (baselines, direct k-way multilevel,
+// genetic algorithm, parallel fusion-fission ensemble), sorted.
+func ExtensionMethods() []string {
+	out := make([]string, 0, len(extensionIDs))
+	for id := range extensionIDs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options selects a method and its parameters.
+type Options struct {
+	// K is the number of parts (required, >= 1; metaheuristics need >= 2).
+	K int
+	// Method is a Methods() identifier (default "fusion-fission").
+	Method string
+	// Objective is "mcut" (default), "cut" or "ncut"; it drives the
+	// metaheuristics and is ignored by the criterion-blind classical
+	// methods.
+	Objective string
+	// Seed makes stochastic methods reproducible.
+	Seed int64
+	// Budget caps metaheuristic wall-clock time (default 2s).
+	Budget time.Duration
+	// MaxSteps optionally caps metaheuristic steps for deterministic work
+	// amounts (benchmarks).
+	MaxSteps int
+}
+
+// Result reports a computed partition under all three paper objectives.
+type Result struct {
+	// Parts assigns each vertex a part id in [0, NumParts).
+	Parts []int32
+	// NumParts is the number of non-empty parts.
+	NumParts int
+	// Cut, Ncut and Mcut are the paper's objectives (section 1) evaluated
+	// on the partition. Cut follows the paper's convention of counting
+	// each crossing edge from both sides.
+	Cut, Ncut, Mcut float64
+	// Imbalance is max part weight over the ideal share, minus 1.
+	Imbalance float64
+	// Elapsed is the method runtime.
+	Elapsed time.Duration
+	// Method echoes the method identifier used.
+	Method string
+}
+
+// Partition cuts g into opt.K parts with the selected method.
+func Partition(g *Graph, opt Options) (*Result, error) {
+	if opt.Method == "" {
+		opt.Method = "fusion-fission"
+	}
+	rowName, ok := methodIDs[opt.Method]
+	if !ok {
+		rowName, ok = extensionIDs[opt.Method]
+	}
+	if !ok {
+		return nil, fmt.Errorf("fusionfission: unknown method %q (see Methods() and ExtensionMethods())", opt.Method)
+	}
+	if opt.Objective == "" {
+		opt.Objective = "mcut"
+	}
+	obj, err := objective.Parse(opt.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Budget == 0 {
+		opt.Budget = 2 * time.Second
+	}
+	spec, err := experiments.MethodByName(rowName)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	p, err := spec.Run(g, opt.K, obj, opt.Budget, opt.MaxSteps, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(p, opt.Method, time.Since(start)), nil
+}
+
+func resultFrom(p *partition.P, method string, elapsed time.Duration) *Result {
+	cut, ncut, mcut := objective.EvaluateAll(p)
+	return &Result{
+		Parts:     p.Compact(),
+		NumParts:  p.NumParts(),
+		Cut:       cut,
+		Ncut:      ncut,
+		Mcut:      mcut,
+		Imbalance: objective.Imbalance(p),
+		Elapsed:   elapsed,
+		Method:    method,
+	}
+}

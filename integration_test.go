@@ -1,0 +1,115 @@
+package fusionfission
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+)
+
+// Integration tests: every public method on every graph family, with the
+// partition invariants re-validated from scratch.
+
+func integrationGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	atc, _, err := GenerateAirspace(AirspaceSpec{
+		Sectors: 140, Edges: 500, Hubs: 11, Flights: 3000, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{
+		"grid":      graph.Grid2D(12, 12),
+		"torus":     graph.Torus2D(9, 9),
+		"geometric": graph.RandomGeometric(130, 0.16, 4),
+		"airspace":  atc,
+	}
+}
+
+func TestIntegrationAllMethodsAllFamilies(t *testing.T) {
+	graphs := integrationGraphs(t)
+	for name, g := range graphs {
+		for _, method := range Methods() {
+			res, err := Partition(g, Options{
+				K: 4, Method: method, Seed: 9,
+				Budget: 60 * time.Millisecond, MaxSteps: 2000,
+			})
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, method, err)
+				continue
+			}
+			if res.NumParts != 4 {
+				t.Errorf("%s/%s: NumParts = %d", name, method, res.NumParts)
+			}
+			// Rebuild partition state from the returned assignment and
+			// cross-check the reported objectives.
+			p, err := partition.FromAssignment(g, res.Parts, res.NumParts)
+			if err != nil {
+				t.Errorf("%s/%s: invalid assignment: %v", name, method, err)
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", name, method, err)
+			}
+			cut, ncut, mcut := objective.EvaluateAll(p)
+			if diff(cut, res.Cut) > 1e-9 || diff(ncut, res.Ncut) > 1e-9 || diff(mcut, res.Mcut) > 1e-9 {
+				t.Errorf("%s/%s: reported objectives (%g,%g,%g) != recomputed (%g,%g,%g)",
+					name, method, res.Cut, res.Ncut, res.Mcut, cut, ncut, mcut)
+			}
+		}
+	}
+}
+
+// TestIntegrationArbitraryK covers the paper's remark that metaheuristics
+// handle any k while spectral/multilevel are built for powers of two (our
+// implementations extend them to arbitrary k via uneven recursion).
+func TestIntegrationArbitraryK(t *testing.T) {
+	g := graph.RandomGeometric(150, 0.15, 8)
+	for _, k := range []int{3, 5, 11, 27} {
+		for _, method := range []string{"fusion-fission", "annealing", "multilevel-bi", "spectral-lanc-bi"} {
+			res, err := Partition(g, Options{
+				K: k, Method: method, Seed: int64(k),
+				Budget: 80 * time.Millisecond, MaxSteps: 2500,
+			})
+			if err != nil {
+				t.Errorf("k=%d %s: %v", k, method, err)
+				continue
+			}
+			if res.NumParts != k {
+				t.Errorf("k=%d %s: NumParts = %d", k, method, res.NumParts)
+			}
+		}
+	}
+}
+
+// TestIntegrationMetaheuristicQuality asserts the paper's core quality
+// relation on a mid-size instance: with a reasonable budget, fusion-fission's
+// Mcut is no worse than the multilevel method's.
+func TestIntegrationMetaheuristicQuality(t *testing.T) {
+	g, _, err := GenerateAirspace(AirspaceSpec{
+		Sectors: 200, Edges: 720, Hubs: 13, Flights: 9000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Partition(g, Options{K: 8, Method: "multilevel-bi", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffRes, err := Partition(g, Options{K: 8, Method: "fusion-fission", Seed: 5, Budget: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffRes.Mcut > ml.Mcut*1.05 {
+		t.Fatalf("fusion-fission Mcut %.3f worse than multilevel %.3f", ffRes.Mcut, ml.Mcut)
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,550 @@
+// Package airspace generates a synthetic stand-in for the paper's
+// evaluation workload: the European "country core area" sector graph — 762
+// air-traffic-control sectors and 3,165 edges weighted by aircraft flows,
+// covering Germany, France, the United Kingdom, Switzerland, Belgium, the
+// Netherlands, Austria, Spain, Denmark, Luxembourg and Italy (section 6 and
+// reference [1]).
+//
+// The real Eurocontrol sector geometry and flow data are proprietary, so the
+// generator reproduces the structural properties the partitioning algorithms
+// actually exercise:
+//
+//   - sector centers scattered over 11 country-shaped regions whose sector
+//     counts are proportional to the countries' rough real ATC capacity;
+//   - a planar-like adjacency built from a minimum spanning tree plus the
+//     shortest k-nearest-neighbor candidates, hitting |V| = 762 and
+//     |E| = 3165 exactly;
+//   - edge weights from routed traffic: flights are sampled between airport
+//     hubs with a gravity model (plus a fraction of arbitrary overflights)
+//     and routed along geometric shortest paths, so flows concentrate on
+//     hub-to-hub corridors exactly as real upper-airspace traffic does.
+//
+// The result is a connected, irregular, heavy-tailed weighted graph with the
+// same size, sparsity and corridor skew as the paper's instance.
+package airspace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Spec parameterizes the generator. The zero value (via Default) reproduces
+// the paper's instance size.
+type Spec struct {
+	Sectors            int     // number of ATC sectors (default 762)
+	Edges              int     // number of flow edges (default 3165)
+	Hubs               int     // number of airport hubs (default 34)
+	Flights            int     // routed flights (default 40000)
+	OverflightFraction float64 // share of flights between random sectors (default 0.10)
+	Seed               int64   // determinism
+}
+
+// Default returns the paper-sized specification.
+func Default() Spec {
+	return Spec{Sectors: 762, Edges: 3165, Hubs: 34, Flights: 40000, OverflightFraction: 0.10, Seed: 2006}
+}
+
+func (s Spec) withDefaults() Spec {
+	d := Default()
+	if s.Sectors == 0 {
+		s.Sectors = d.Sectors
+	}
+	if s.Edges == 0 {
+		s.Edges = d.Edges
+	}
+	if s.Hubs == 0 {
+		s.Hubs = d.Hubs
+	}
+	if s.Flights == 0 {
+		s.Flights = d.Flights
+	}
+	if s.OverflightFraction == 0 {
+		s.OverflightFraction = d.OverflightFraction
+	}
+	return s
+}
+
+// Meta describes the generated geography, for examples and reports.
+type Meta struct {
+	X, Y         []float64 // sector center coordinates
+	Country      []int     // country index per sector
+	CountryNames []string
+	HubSectors   []int // sector ids hosting airport hubs
+}
+
+// country is a rough blob on a 100x100 map of the core area.
+type country struct {
+	name   string
+	cx, cy float64
+	weight float64 // relative sector count
+}
+
+// The 11 core-area countries (section 6), with sector shares roughly
+// proportional to their real upper-airspace sector counts and blob centers
+// laid out like the map of Europe.
+var countries = []country{
+	{"France", 33, 42, 160},
+	{"Germany", 55, 60, 130},
+	{"UK", 25, 78, 120},
+	{"Italy", 58, 22, 90},
+	{"Spain", 12, 14, 80},
+	{"Switzerland", 46, 40, 35},
+	{"Austria", 64, 42, 30},
+	{"Belgium", 40, 63, 30},
+	{"Netherlands", 44, 70, 25},
+	{"Denmark", 55, 82, 22},
+	{"Luxembourg", 44, 56, 5},
+}
+
+// Generate builds the sector graph and its geography.
+func Generate(spec Spec) (*graph.Graph, *Meta, error) {
+	spec = spec.withDefaults()
+	n := spec.Sectors
+	if n < len(countries) {
+		return nil, nil, fmt.Errorf("airspace: need at least %d sectors, got %d", len(countries), n)
+	}
+	minEdges := n - 1
+	if spec.Edges < minEdges {
+		return nil, nil, fmt.Errorf("airspace: %d edges cannot connect %d sectors", spec.Edges, n)
+	}
+	r := rng.New(spec.Seed)
+
+	meta := &Meta{
+		X: make([]float64, n), Y: make([]float64, n),
+		Country: make([]int, n),
+	}
+	for _, c := range countries {
+		meta.CountryNames = append(meta.CountryNames, c.name)
+	}
+
+	// --- Sector placement: Gaussian blobs sized by country weight, with a
+	// soft minimum-distance rejection for even coverage.
+	totalW := 0.0
+	for _, c := range countries {
+		totalW += c.weight
+	}
+	counts := apportion(n, countries)
+	minDist := 100.0 / math.Sqrt(float64(n)) * 0.45
+	idx := 0
+	for ci, c := range countries {
+		sigma := 4.5 * math.Sqrt(c.weight/totalW*float64(len(countries)))
+		for s := 0; s < counts[ci]; s++ {
+			x, y := samplePoint(r, c.cx, c.cy, sigma, meta, idx, minDist)
+			meta.X[idx], meta.Y[idx] = x, y
+			meta.Country[idx] = ci
+			idx++
+		}
+	}
+
+	// --- Adjacency: MST over kNN candidates for connectivity, then the
+	// shortest remaining candidates until the edge budget is filled.
+	edges, err := buildAdjacency(spec, meta)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Hubs: per-country airports near the blob centers, with gravity
+	// masses. Each country gets at least one hub.
+	hubs, hubMass := placeHubs(spec, meta, counts, r)
+	meta.HubSectors = hubs
+
+	// --- Traffic: route flights hub-to-hub along geometric shortest paths
+	// (plus random overflights) and accumulate flows per edge.
+	flows := routeTraffic(spec, meta, edges, hubs, hubMass, r)
+
+	b := graph.NewBuilder(n)
+	for i, e := range edges {
+		b.AddEdge(int(e[0]), int(e[1]), 1+flows[i])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.NumEdges() != spec.Edges {
+		return nil, nil, fmt.Errorf("airspace: built %d edges, want %d", g.NumEdges(), spec.Edges)
+	}
+	if !graph.IsConnected(g) {
+		return nil, nil, fmt.Errorf("airspace: generated graph is not connected")
+	}
+	return g, meta, nil
+}
+
+// apportion distributes n sectors over the countries proportionally to
+// weight with largest-remainder rounding.
+func apportion(n int, cs []country) []int {
+	totalW := 0.0
+	for _, c := range cs {
+		totalW += c.weight
+	}
+	counts := make([]int, len(cs))
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, len(cs))
+	used := 0
+	for i, c := range cs {
+		exact := c.weight / totalW * float64(n)
+		counts[i] = int(exact)
+		if counts[i] == 0 {
+			counts[i] = 1
+		}
+		used += counts[i]
+		fracs[i] = frac{i, exact - float64(int(exact))}
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for j := 0; used < n; j = (j + 1) % len(fracs) {
+		counts[fracs[j].i]++
+		used++
+	}
+	for j := 0; used > n; j = (j + 1) % len(fracs) {
+		i := fracs[len(fracs)-1-j%len(fracs)].i
+		if counts[i] > 1 {
+			counts[i]--
+			used--
+		}
+	}
+	return counts
+}
+
+func samplePoint(r interface{ NormFloat64() float64 }, cx, cy, sigma float64, meta *Meta, placed int, minDist float64) (float64, float64) {
+	for attempt := 0; attempt < 30; attempt++ {
+		x := cx + r.NormFloat64()*sigma
+		y := cy + r.NormFloat64()*sigma
+		ok := true
+		// Only compare against recent points: a full scan is O(n^2) and the
+		// local window catches almost all collisions in a blob.
+		lo := placed - 220
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < placed; j++ {
+			dx, dy := meta.X[j]-x, meta.Y[j]-y
+			if dx*dx+dy*dy < minDist*minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x, y
+		}
+	}
+	// Crowded blob: accept the last candidate.
+	return cx + r.NormFloat64()*sigma, cy + r.NormFloat64()*sigma
+}
+
+// buildAdjacency returns exactly spec.Edges undirected edges covering all
+// sectors: an MST for connectivity plus the shortest kNN candidates.
+func buildAdjacency(spec Spec, meta *Meta) ([][2]int32, error) {
+	n := spec.Sectors
+	type cand struct {
+		u, v int32
+		d    float64
+	}
+	// kNN candidates, k chosen to comfortably exceed the edge budget.
+	k := 2*spec.Edges/n + 6
+	if k >= n {
+		k = n - 1
+	}
+	candSet := make(map[[2]int32]float64)
+	dists := make([]cand, 0, n)
+	for u := 0; u < n; u++ {
+		dists = dists[:0]
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			dx, dy := meta.X[u]-meta.X[v], meta.Y[u]-meta.Y[v]
+			dists = append(dists, cand{int32(u), int32(v), dx*dx + dy*dy})
+		}
+		sort.Slice(dists, func(a, b int) bool { return dists[a].d < dists[b].d })
+		for i := 0; i < k && i < len(dists); i++ {
+			a, bb := dists[i].u, dists[i].v
+			if a > bb {
+				a, bb = bb, a
+			}
+			candSet[[2]int32{a, bb}] = dists[i].d
+		}
+	}
+	cands := make([]cand, 0, len(candSet))
+	for key, d := range candSet {
+		cands = append(cands, cand{key[0], key[1], d})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		if cands[a].u != cands[b].u {
+			return cands[a].u < cands[b].u
+		}
+		return cands[a].v < cands[b].v
+	})
+	if len(cands) < spec.Edges {
+		return nil, fmt.Errorf("airspace: only %d candidate edges for a budget of %d; raise kNN", len(cands), spec.Edges)
+	}
+
+	// Kruskal MST first.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	chosen := make([][2]int32, 0, spec.Edges)
+	inTree := make(map[[2]int32]bool, n)
+	for _, c := range cands {
+		ru, rv := find(c.u), find(c.v)
+		if ru != rv {
+			parent[ru] = rv
+			key := [2]int32{c.u, c.v}
+			chosen = append(chosen, key)
+			inTree[key] = true
+		}
+	}
+	// The kNN graph of points in general position is connected in practice;
+	// if not, fall back to linking components by adding direct edges.
+	comp := find(0)
+	for v := 1; v < n; v++ {
+		if find(int32(v)) != comp {
+			key := [2]int32{0, int32(v)}
+			if int32(v) < 0 {
+				key = [2]int32{int32(v), 0}
+			}
+			if !inTree[key] {
+				chosen = append(chosen, key)
+				inTree[key] = true
+				parent[find(int32(v))] = comp
+			}
+		}
+	}
+	// Fill with the shortest remaining candidates.
+	for _, c := range cands {
+		if len(chosen) == spec.Edges {
+			break
+		}
+		key := [2]int32{c.u, c.v}
+		if !inTree[key] {
+			chosen = append(chosen, key)
+			inTree[key] = true
+		}
+	}
+	if len(chosen) != spec.Edges {
+		return nil, fmt.Errorf("airspace: assembled %d edges, want %d", len(chosen), spec.Edges)
+	}
+	return chosen, nil
+}
+
+// placeHubs assigns airport hubs to sectors, at least one per country, the
+// rest apportioned by weight; each hub gets a gravity mass.
+func placeHubs(spec Spec, meta *Meta, counts []int, r interface {
+	Intn(int) int
+	Float64() float64
+}) ([]int, []float64) {
+	nc := len(countries)
+	hubsPer := make([]int, nc)
+	for i := range hubsPer {
+		hubsPer[i] = 1
+	}
+	remaining := spec.Hubs - nc
+	totalW := 0.0
+	for _, c := range countries {
+		totalW += c.weight
+	}
+	for i := 0; remaining > 0; i = (i + 1) % nc {
+		// Probabilistic apportionment keeps big countries hub-rich.
+		if r.Float64() < countries[i].weight/totalW*float64(nc) {
+			hubsPer[i]++
+			remaining--
+		}
+	}
+	// Sector index ranges per country follow placement order.
+	start := make([]int, nc+1)
+	for i := 0; i < nc; i++ {
+		start[i+1] = start[i] + counts[i]
+	}
+	var hubs []int
+	var mass []float64
+	seen := make(map[int]bool)
+	for ci := 0; ci < nc; ci++ {
+		for h := 0; h < hubsPer[ci]; h++ {
+			// Prefer sectors near the country center: resample and keep
+			// the closest of a few tries.
+			best, bestD := -1, math.Inf(1)
+			for try := 0; try < 6; try++ {
+				s := start[ci] + r.Intn(counts[ci])
+				if seen[s] {
+					continue
+				}
+				dx := meta.X[s] - countries[ci].cx
+				dy := meta.Y[s] - countries[ci].cy
+				if d := dx*dx + dy*dy; d < bestD {
+					best, bestD = s, d
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			seen[best] = true
+			hubs = append(hubs, best)
+			mass = append(mass, countries[ci].weight*(0.5+r.Float64()))
+		}
+	}
+	return hubs, mass
+}
+
+// routeTraffic samples flights and routes each along the geometric shortest
+// path, returning the flow accumulated on every edge (indexed like edges).
+func routeTraffic(spec Spec, meta *Meta, edges [][2]int32, hubs []int, hubMass []float64, r interface {
+	Intn(int) int
+	Float64() float64
+}) []float64 {
+	n := spec.Sectors
+	// CSR-ish adjacency over the chosen edges with geometric lengths.
+	adj := make([][]int32, n)  // neighbor sector
+	aeid := make([][]int32, n) // edge index into `edges`
+	alen := make([][]float64, n)
+	for i, e := range edges {
+		u, v := int(e[0]), int(e[1])
+		dx, dy := meta.X[u]-meta.X[v], meta.Y[u]-meta.Y[v]
+		d := math.Hypot(dx, dy) + 1e-9
+		adj[u] = append(adj[u], int32(v))
+		aeid[u] = append(aeid[u], int32(i))
+		alen[u] = append(alen[u], d)
+		adj[v] = append(adj[v], int32(u))
+		aeid[v] = append(aeid[v], int32(i))
+		alen[v] = append(alen[v], d)
+	}
+	flows := make([]float64, len(edges))
+
+	// Shortest-path tree from every hub (and overflight origin): parent
+	// edge per vertex.
+	parentEdge := make([]int32, n)
+	dist := make([]float64, n)
+	dijkstra := func(src int) {
+		for v := range dist {
+			dist[v] = math.Inf(1)
+			parentEdge[v] = -1
+		}
+		dist[src] = 0
+		pq := &distHeap{}
+		heap.Init(pq)
+		heap.Push(pq, distItem{src, 0})
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(distItem)
+			if it.d > dist[it.v] {
+				continue
+			}
+			for i, u := range adj[it.v] {
+				nd := it.d + alen[it.v][i]
+				if nd < dist[u] {
+					dist[u] = nd
+					parentEdge[u] = aeid[it.v][i]
+					heap.Push(pq, distItem{int(u), nd})
+				}
+			}
+		}
+	}
+	walkDown := func(dst int, count float64) {
+		v := dst
+		for parentEdge[v] >= 0 {
+			e := parentEdge[v]
+			flows[e] += count
+			// Step to the other endpoint of e.
+			if int(edges[e][0]) == v {
+				v = int(edges[e][1])
+			} else {
+				v = int(edges[e][0])
+			}
+		}
+	}
+
+	// Hub-to-hub gravity traffic. Flights are drawn per ordered hub pair in
+	// one pass: expected counts from the gravity model, then routed in bulk
+	// along each origin hub's shortest-path tree.
+	hubFlights := float64(spec.Flights) * (1 - spec.OverflightFraction)
+	type od struct {
+		a, b int
+		w    float64
+	}
+	var pairs []od
+	totalGrav := 0.0
+	for i := range hubs {
+		for j := i + 1; j < len(hubs); j++ {
+			dx := meta.X[hubs[i]] - meta.X[hubs[j]]
+			dy := meta.Y[hubs[i]] - meta.Y[hubs[j]]
+			d := math.Hypot(dx, dy) + 5
+			w := hubMass[i] * hubMass[j] / d
+			pairs = append(pairs, od{i, j, w})
+			totalGrav += w
+		}
+	}
+	perOrigin := make(map[int][]od)
+	for _, p := range pairs {
+		perOrigin[p.a] = append(perOrigin[p.a], p)
+	}
+	origins := make([]int, 0, len(perOrigin))
+	for a := range perOrigin {
+		origins = append(origins, a)
+	}
+	sort.Ints(origins) // deterministic order: the rng stream must not depend on map order
+	for _, a := range origins {
+		dijkstra(hubs[a])
+		for _, p := range perOrigin[a] {
+			count := hubFlights * p.w / totalGrav
+			// Round stochastically so small corridors still get traffic.
+			flights := math.Floor(count)
+			if r.Float64() < count-flights {
+				flights++
+			}
+			if flights > 0 {
+				walkDown(hubs[p.b], flights)
+			}
+		}
+	}
+
+	// Overflights: arbitrary sector-to-sector traffic, batched by origin.
+	over := int(float64(spec.Flights) * spec.OverflightFraction)
+	batches := 80
+	if batches > over && over > 0 {
+		batches = over
+	}
+	for b := 0; b < batches; b++ {
+		src := r.Intn(n)
+		dijkstra(src)
+		per := over / batches
+		for f := 0; f < per; f++ {
+			walkDown(r.Intn(n), 1)
+		}
+	}
+	return flows
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

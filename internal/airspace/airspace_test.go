@@ -1,0 +1,151 @@
+package airspace
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDefaultMatchesPaperSize(t *testing.T) {
+	g, meta, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 762 {
+		t.Fatalf("sectors = %d, want 762", g.NumVertices())
+	}
+	if g.NumEdges() != 3165 {
+		t.Fatalf("edges = %d, want 3165", g.NumEdges())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("not connected")
+	}
+	if len(meta.HubSectors) == 0 {
+		t.Fatal("no hubs placed")
+	}
+	if len(meta.CountryNames) != 11 {
+		t.Fatalf("%d countries, want 11", len(meta.CountryNames))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	spec := Spec{Sectors: 200, Edges: 700, Hubs: 12, Flights: 5000, Seed: 5}
+	g1, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.TotalEdgeWeight() != g2.TotalEdgeWeight() {
+		t.Fatalf("not deterministic: %g vs %g", g1.TotalEdgeWeight(), g2.TotalEdgeWeight())
+	}
+	g3, _, err := Generate(Spec{Sectors: 200, Edges: 700, Hubs: 12, Flights: 5000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.TotalEdgeWeight() == g3.TotalEdgeWeight() {
+		t.Fatal("different seeds produced identical flows")
+	}
+}
+
+func TestWeightsPositiveAndSkewed(t *testing.T) {
+	g, _, err := Generate(Spec{Sectors: 300, Edges: 1100, Hubs: 16, Flights: 12000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []float64
+	g.ForEachEdge(func(u, v int, w float64) {
+		if w < 1 {
+			t.Fatalf("edge weight %g below baseline 1", w)
+		}
+		ws = append(ws, w)
+	})
+	sort.Float64s(ws)
+	median := ws[len(ws)/2]
+	p95 := ws[len(ws)*95/100]
+	// Corridor skew: the busiest edges must carry far more than the median
+	// (heavy-tailed flow distribution), or the instance is featureless.
+	if p95 < 4*median {
+		t.Fatalf("flow distribution too flat: median %g, p95 %g", median, p95)
+	}
+}
+
+func TestCountriesPopulated(t *testing.T) {
+	_, meta, err := Generate(Spec{Sectors: 250, Edges: 900, Hubs: 13, Flights: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(meta.CountryNames))
+	for _, c := range meta.Country {
+		counts[c]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("country %s got no sectors", meta.CountryNames[i])
+		}
+	}
+	// France (largest) must have more sectors than Luxembourg (smallest).
+	if counts[0] <= counts[10] {
+		t.Fatalf("apportionment broken: France %d, Luxembourg %d", counts[0], counts[10])
+	}
+}
+
+func TestTrafficConcentratesOnCorridors(t *testing.T) {
+	g, meta, err := Generate(Spec{Sectors: 300, Edges: 1100, Hubs: 14, Flights: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges incident to hub sectors should on average carry more flow than
+	// arbitrary edges: traffic radiates from airports.
+	isHub := make(map[int]bool)
+	for _, h := range meta.HubSectors {
+		isHub[h] = true
+	}
+	hubSum, hubN, allSum, allN := 0.0, 0, 0.0, 0
+	g.ForEachEdge(func(u, v int, w float64) {
+		allSum += w
+		allN++
+		if isHub[u] || isHub[v] {
+			hubSum += w
+			hubN++
+		}
+	})
+	if hubN == 0 {
+		t.Fatal("no hub-incident edges")
+	}
+	if hubSum/float64(hubN) <= allSum/float64(allN) {
+		t.Fatalf("hub edges (%.1f avg) not busier than average (%.1f)",
+			hubSum/float64(hubN), allSum/float64(allN))
+	}
+}
+
+func TestGeometryLocality(t *testing.T) {
+	g, meta, err := Generate(Spec{Sectors: 300, Edges: 1100, Hubs: 12, Flights: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent sectors must be geometrically close: mean edge length far
+	// below the map diagonal.
+	total, count := 0.0, 0
+	g.ForEachEdge(func(u, v int, w float64) {
+		dx, dy := meta.X[u]-meta.X[v], meta.Y[u]-meta.Y[v]
+		total += math.Hypot(dx, dy)
+		count++
+	})
+	if mean := total / float64(count); mean > 15 {
+		t.Fatalf("mean edge length %.1f not local on a ~100-unit map", mean)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Generate(Spec{Sectors: 5, Edges: 10, Hubs: 2, Flights: 10, Seed: 1}); err == nil {
+		t.Fatal("fewer sectors than countries accepted")
+	}
+	if _, _, err := Generate(Spec{Sectors: 100, Edges: 50, Hubs: 11, Flights: 10, Seed: 1}); err == nil {
+		t.Fatal("edge budget below spanning tree accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package airspace
+
+import "testing"
+
+// BenchmarkGenerate measures building the full paper-sized instance:
+// placement, adjacency assembly, hub gravity traffic and routing.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	spec := Spec{Sectors: 180, Edges: 640, Hubs: 12, Flights: 8000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

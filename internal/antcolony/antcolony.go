@@ -1,0 +1,311 @@
+// Package antcolony implements the paper's ant-colony adaptation to k-way
+// partitioning (section 3.2): k colonies — one per part — compete for food.
+// Each colony lays its own pheromone on edges (an ant only senses its own
+// colony's trails); a vertex is owned by the colony whose pheromone on the
+// vertex's incident edges is strongest; a local heuristic pushes ants toward
+// unexplored edges; trails evaporate over time; and ants from different
+// colonies may stand on the same vertex, so part connectivity is never
+// forced. Vertex food is the weighted degree, as the paper suggests.
+//
+// The four tunable parameters the paper counts are Alpha, Beta, Rho and
+// AntsPerColony. The search is seeded with the percolation partition
+// (figure 1 starts the ant colony from the percolation result).
+package antcolony
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/percolation"
+	"repro/internal/refine"
+	"repro/internal/rng"
+)
+
+// Options configures the colony search.
+type Options struct {
+	// Objective is the energy function (default MCut).
+	Objective objective.Objective
+	// Alpha weights pheromone in the transition rule (default 1).
+	Alpha float64
+	// Beta weights the edge-weight heuristic (default 2).
+	Beta float64
+	// Rho is the evaporation rate in (0,1) (default 0.05).
+	Rho float64
+	// AntsPerColony is the number of ants each colony deploys per
+	// iteration (default 4).
+	AntsPerColony int
+	// WalkLength is the number of steps each ant takes (default 10).
+	WalkLength int
+	// Iterations caps the number of colony iterations (default 4000).
+	Iterations int
+	// DaemonPeriod is how often (in iterations) the centralized daemon
+	// action runs — the optional third ACO step of section 3.2, here one
+	// greedy boundary-refinement pass whose result is reinforced with
+	// pheromone. 0 means the default (20); negative disables it.
+	DaemonPeriod int
+	// Budget caps wall-clock time; 0 means no limit.
+	Budget time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// Initial optionally provides a starting partition; when nil,
+	// percolation is run.
+	Initial *partition.P
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.Beta == 0 {
+		o.Beta = 2
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.05
+	}
+	if o.AntsPerColony == 0 {
+		o.AntsPerColony = 4
+	}
+	if o.WalkLength == 0 {
+		o.WalkLength = 10
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 4000
+	}
+	if o.DaemonPeriod == 0 {
+		o.DaemonPeriod = 20
+	}
+	return o
+}
+
+// TracePoint records the best energy seen at a point in time, for Figure 1.
+type TracePoint struct {
+	Elapsed time.Duration
+	Energy  float64
+}
+
+// Result is the outcome of the colony search.
+type Result struct {
+	Best       *partition.P
+	Energy     float64
+	Iterations int
+	Trace      []TracePoint
+}
+
+const (
+	tau0        = 0.05 // baseline pheromone presence in the transition rule
+	exploreTau  = 0.02 // below this own-colony pheromone an edge counts as unexplored
+	exploreGain = 3.0  // attraction multiplier for unexplored edges
+	depositQ    = 0.25 // pheromone laid per visited vertex, scaled by food
+	eliteQ      = 0.5  // bonus laid on internal edges of a new best partition
+)
+
+// Partition runs the competing-colonies search and returns the best
+// partition found.
+func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("antcolony: k=%d out of range [2,%d]", k, n)
+	}
+	if opt.Rho <= 0 || opt.Rho >= 1 {
+		return nil, fmt.Errorf("antcolony: rho=%g out of (0,1)", opt.Rho)
+	}
+	r := rng.New(opt.Seed)
+
+	init := opt.Initial
+	if init == nil {
+		p, err := percolation.Partition(g, k, percolation.Options{Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("antcolony: percolation initialization: %w", err)
+		}
+		init = p
+	}
+	if init.Graph() != g {
+		return nil, fmt.Errorf("antcolony: initial partition is for a different graph")
+	}
+
+	m := g.NumEdges()
+	tau := make([][]float64, k)
+	for c := range tau {
+		tau[c] = make([]float64, m)
+	}
+	// Seed pheromone along the internal edges of the initial partition.
+	owner := make([]int32, n)
+	copy(owner, init.Assignment())
+	g.ForEachEdge(func(u, v int, w float64) {
+		if owner[u] == owner[v] && owner[u] >= 0 {
+			eid := edgeIDOf(g, u, v)
+			tau[owner[u]][eid] = 0.5
+		}
+	})
+
+	maxWDeg := 0.0
+	maxW := 0.0
+	for v := 0; v < n; v++ {
+		if d := g.WeightedDegree(v); d > maxWDeg {
+			maxWDeg = d
+		}
+	}
+	g.ForEachEdge(func(u, v int, w float64) {
+		if w > maxW {
+			maxW = w
+		}
+	})
+	if maxWDeg == 0 {
+		maxWDeg = 1
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+
+	eps := 1e-6 * (2 * g.TotalEdgeWeight() / float64(n))
+	energyOf := func(p *partition.P) float64 { return opt.Objective.EvaluateSmoothed(p, eps) }
+
+	// Soft balance cap (see anneal): plain Cut would otherwise collapse the
+	// ownership into one giant colony.
+	capFactor := 2.0
+	if opt.Objective == objective.Cut {
+		capFactor = 1.3
+	}
+	maxPartVW := capFactor * g.TotalVertexWeight() / float64(k)
+
+	cur := init.Clone()
+	best := init.Clone()
+	bestE := energyOf(best)
+	start := time.Now()
+	trace := []TracePoint{{0, bestE}}
+	probs := make([]float64, 0, 64)
+
+	iters := 0
+	for ; iters < opt.Iterations; iters++ {
+		if opt.Budget > 0 && iters%8 == 0 && time.Since(start) > opt.Budget {
+			break
+		}
+		// March the ants.
+		for c := 0; c < k; c++ {
+			territory := cur.VerticesOf(c)
+			for a := 0; a < opt.AntsPerColony; a++ {
+				var at int
+				if len(territory) > 0 {
+					at = int(territory[r.Intn(len(territory))])
+				} else {
+					at = r.Intn(n) // colony dispossessed: scout anywhere
+				}
+				for step := 0; step < opt.WalkLength; step++ {
+					nbrs := g.Neighbors(at)
+					if len(nbrs) == 0 {
+						break
+					}
+					wts := g.Weights(at)
+					eids := g.ArcEdgeIDs(at)
+					probs = probs[:0]
+					for i := range nbrs {
+						ph := tau[c][eids[i]]
+						attract := math.Pow(ph+tau0, opt.Alpha) *
+							math.Pow(wts[i]/maxW+0.1, opt.Beta)
+						if ph < exploreTau {
+							attract *= exploreGain // the paper's exploration heuristic
+						}
+						probs = append(probs, attract)
+					}
+					pick := rng.WeightedChoice(r, probs)
+					if pick < 0 {
+						break
+					}
+					next := int(nbrs[pick])
+					// Food at the destination: its weighted degree.
+					food := g.WeightedDegree(next) / maxWDeg
+					tau[c][eids[pick]] += depositQ * food
+					at = next
+				}
+			}
+		}
+		// Evaporate.
+		for c := 0; c < k; c++ {
+			col := tau[c]
+			for e := range col {
+				col[e] *= 1 - opt.Rho
+			}
+		}
+		// Ownership: strongest incident pheromone wins; ties keep owner.
+		reassignByPheromone(g, tau, cur, maxPartVW)
+		// Centralized daemon action (the optional third step of section
+		// 3.2): periodically smooth the ownership boundary with one greedy
+		// refinement pass and lay pheromone along the improved interior so
+		// the colonies retain it.
+		if opt.DaemonPeriod > 0 && iters%opt.DaemonPeriod == opt.DaemonPeriod-1 {
+			refine.KWay(cur, refine.KWayOptions{
+				Objective: opt.Objective, MaxPasses: 1, Imbalance: capFactor - 1,
+			})
+			g.ForEachEdge(func(u, v int, w float64) {
+				if a := cur.Part(u); a == cur.Part(v) {
+					tau[a][edgeIDOf(g, u, v)] += depositQ
+				}
+			})
+		}
+		if e := energyOf(cur); e < bestE && cur.NumParts() == k {
+			bestE = e
+			best.CopyFrom(cur)
+			trace = append(trace, TracePoint{time.Since(start), bestE})
+			// Elitist reinforcement of the new best partition's interior.
+			g.ForEachEdge(func(u, v int, w float64) {
+				if a := best.Part(u); a == best.Part(v) {
+					tau[a][edgeIDOf(g, u, v)] += eliteQ
+				}
+			})
+		}
+	}
+	trace = append(trace, TracePoint{time.Since(start), bestE})
+	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Iterations: iters, Trace: trace}, nil
+}
+
+// reassignByPheromone recomputes vertex ownership from the pheromone fields,
+// mutating cur. A move that would empty a part or push the receiving colony
+// past the balance cap is skipped so every colony keeps a foothold (k stays
+// fixed, as Table 1 requires) and no colony swallows the graph.
+func reassignByPheromone(g *graph.Graph, tau [][]float64, cur *partition.P, maxPartVW float64) {
+	n := g.NumVertices()
+	k := len(tau)
+	for v := 0; v < n; v++ {
+		eids := g.ArcEdgeIDs(v)
+		bestC, bestS := int32(cur.Part(v)), 0.0
+		for _, e := range eids {
+			bestS += tau[bestC][e]
+		}
+		for c := 0; c < k; c++ {
+			if c == int(bestC) {
+				continue
+			}
+			s := 0.0
+			for _, e := range eids {
+				s += tau[c][e]
+			}
+			if s > bestS {
+				bestC, bestS = int32(c), s
+			}
+		}
+		if int(bestC) != cur.Part(v) && cur.PartSize(cur.Part(v)) > 1 &&
+			cur.PartVertexWeight(int(bestC))+g.VertexWeight(v) <= maxPartVW {
+			cur.Move(v, int(bestC))
+		}
+	}
+}
+
+// edgeIDOf returns the undirected edge id of {u,v}; the edge must exist.
+func edgeIDOf(g *graph.Graph, u, v int) int32 {
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	nbrs := g.Neighbors(u)
+	eids := g.ArcEdgeIDs(u)
+	for i, x := range nbrs {
+		if int(x) == v {
+			return eids[i]
+		}
+	}
+	panic(fmt.Sprintf("antcolony: edge {%d,%d} not found", u, v))
+}

@@ -1,0 +1,111 @@
+// Package coarsen implements the graph-coarsening substrate shared by the
+// multilevel partitioner and the multilevel RQI eigensolver: repeated
+// contraction of heavy-edge matchings, preserving vertex weights and
+// accumulating parallel edge weights.
+package coarsen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Level is one rung of the coarsening ladder: the coarse graph together with
+// the mapping from the previous (finer) graph's vertices to coarse vertices.
+type Level struct {
+	G   *graph.Graph
+	Map []int32 // fine vertex id -> coarse vertex id
+}
+
+// HEM repeatedly contracts a heavy-edge matching (Hendrickson-Leland
+// / Karypis-Kumar style) until the graph has at most minSize vertices or the
+// reduction stalls. It returns the ladder from finest to coarsest; entry i
+// maps the vertices of graph i-1 (or of g for i == 0) onto graph i.
+func HEM(g *graph.Graph, minSize int, seed int64) []Level {
+	r := rng.New(seed)
+	var ladder []Level
+	cur := g
+	for cur.NumVertices() > minSize {
+		match := heavyEdgeMatching(cur, r)
+		coarse, toCoarse := contract(cur, match)
+		if coarse.NumVertices() >= cur.NumVertices() {
+			break // no reduction possible (e.g. edgeless graph)
+		}
+		ladder = append(ladder, Level{G: coarse, Map: toCoarse})
+		if float64(coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+			cur = coarse
+			break // diminishing returns; stop coarsening
+		}
+		cur = coarse
+	}
+	return ladder
+}
+
+// heavyEdgeMatching visits vertices in random order and matches each
+// unmatched vertex with its unmatched neighbor of maximum edge weight.
+// match[v] == v for unmatched vertices.
+func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for v := range match {
+		match[v] = int32(v)
+	}
+	order := make([]int, n)
+	rng.Perm(r, order)
+	for _, v := range order {
+		if match[v] != int32(v) {
+			continue
+		}
+		nbrs := g.Neighbors(v)
+		wts := g.Weights(v)
+		best, bestW := -1, 0.0
+		for i, u := range nbrs {
+			if match[u] == u && int(u) != v && wts[i] > bestW {
+				best, bestW = int(u), wts[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = int32(best)
+			match[best] = int32(v)
+		}
+	}
+	return match
+}
+
+// contract merges each matched pair into one coarse vertex. Coarse vertex
+// weights are the sums of their constituents; parallel coarse edges are
+// accumulated and self-loops dropped (their weight can never be cut).
+func contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	toCoarse := make([]int32, n)
+	for v := range toCoarse {
+		toCoarse[v] = -1
+	}
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		if toCoarse[v] >= 0 {
+			continue
+		}
+		toCoarse[v] = nc
+		if m := int(match[v]); m != v && toCoarse[m] < 0 {
+			toCoarse[m] = nc
+		}
+		nc++
+	}
+	b := graph.NewBuilder(int(nc))
+	vw := make([]float64, nc)
+	for v := 0; v < n; v++ {
+		vw[toCoarse[v]] += g.VertexWeight(v)
+	}
+	for c, w := range vw {
+		b.SetVertexWeight(c, w)
+	}
+	g.ForEachEdge(func(u, v int, w float64) {
+		cu, cv := toCoarse[u], toCoarse[v]
+		if cu != cv {
+			b.AddEdge(int(cu), int(cv), w)
+		}
+	})
+	return b.MustBuild(), toCoarse
+}

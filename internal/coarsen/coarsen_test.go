@@ -1,0 +1,76 @@
+package coarsen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHEMReducesAndPreservesWeight(t *testing.T) {
+	g := graph.Grid2D(16, 16)
+	ladder := HEM(g, 40, 3)
+	if len(ladder) == 0 {
+		t.Fatal("no coarsening")
+	}
+	prev := g
+	for i, lvl := range ladder {
+		if lvl.G.NumVertices() >= prev.NumVertices() {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, prev.NumVertices(), lvl.G.NumVertices())
+		}
+		if lvl.G.TotalVertexWeight() != prev.TotalVertexWeight() {
+			t.Fatalf("level %d lost vertex weight", i)
+		}
+		prev = lvl.G
+	}
+	if prev.NumVertices() > 40 {
+		t.Fatalf("coarsest still has %d vertices", prev.NumVertices())
+	}
+}
+
+func TestHEMMapsAreSurjective(t *testing.T) {
+	g := graph.RandomGeometric(120, 0.18, 9)
+	ladder := HEM(g, 20, 9)
+	prev := g
+	for _, lvl := range ladder {
+		hit := make([]bool, lvl.G.NumVertices())
+		if len(lvl.Map) != prev.NumVertices() {
+			t.Fatalf("map length %d != fine size %d", len(lvl.Map), prev.NumVertices())
+		}
+		for _, c := range lvl.Map {
+			hit[c] = true
+		}
+		for c, ok := range hit {
+			if !ok {
+				t.Fatalf("coarse vertex %d has no preimage", c)
+			}
+		}
+		prev = lvl.G
+	}
+}
+
+func TestHEMPrefersHeavyEdges(t *testing.T) {
+	// A path with one very heavy edge: the heavy pair must be contracted
+	// in the first level.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 100)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	g := b.MustBuild()
+	ladder := HEM(g, 2, 1)
+	if len(ladder) == 0 {
+		t.Fatal("no coarsening")
+	}
+	m := ladder[0].Map
+	if m[2] != m[3] {
+		t.Fatalf("heavy edge {2,3} not contracted: %v", m)
+	}
+}
+
+func TestHEMEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).MustBuild()
+	if ladder := HEM(g, 2, 1); len(ladder) != 0 {
+		t.Fatalf("edgeless graph coarsened %d levels", len(ladder))
+	}
+}

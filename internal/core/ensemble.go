@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// EnsembleOptions configures a parallel multi-start fusion-fission run.
+type EnsembleOptions struct {
+	// Base holds the per-run options; Base.Seed seeds run 0, run i uses
+	// Base.Seed + i.
+	Base Options
+	// Runs is the number of independent searches (default GOMAXPROCS).
+	Runs int
+	// Workers caps concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Ensemble runs several independent fusion-fission searches concurrently and
+// returns the best result (lowest raw objective at exactly K parts). The
+// searches share nothing, so the speedup is embarrassingly parallel — the
+// natural way to spend a multicore budget on a sequential metaheuristic.
+func Ensemble(g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
+	runs := opt.Runs
+	if runs <= 0 {
+		runs = runtime.GOMAXPROCS(0)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	jobs := make(chan int64)
+	results := make(chan outcome, runs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range jobs {
+				o := opt.Base
+				o.Seed = seed
+				res, err := Partition(g, k, o)
+				results <- outcome{res, err}
+			}
+		}()
+	}
+	go func() {
+		for i := int64(0); i < int64(runs); i++ {
+			jobs <- opt.Base.Seed + i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	var best *Result
+	var firstErr error
+	failed := 0
+	for out := range results {
+		if out.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if best == nil || out.res.Energy < best.Energy {
+			best = out.res
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: all %d ensemble runs failed: %w", failed, firstErr)
+	}
+	return best, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+)
+
+func TestEnsembleReturnsBestOfRuns(t *testing.T) {
+	g := graph.RandomGeometric(100, 0.18, 2)
+	base := Options{Objective: objective.MCut, MaxSteps: 1500, Seed: 10}
+	// Individual runs for reference.
+	worst := 0.0
+	bestSingle := 1e300
+	for i := int64(0); i < 4; i++ {
+		o := base
+		o.Seed = base.Seed + i
+		res, err := Partition(g, 5, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Energy > worst {
+			worst = res.Energy
+		}
+		if res.Energy < bestSingle {
+			bestSingle = res.Energy
+		}
+	}
+	ens, err := Ensemble(g, 5, EnsembleOptions{Base: base, Runs: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Energy > bestSingle+1e-9 {
+		t.Fatalf("ensemble %.4f worse than best single run %.4f", ens.Energy, bestSingle)
+	}
+	if ens.Best.NumParts() != 5 {
+		t.Fatalf("NumParts = %d", ens.Best.NumParts())
+	}
+}
+
+func TestEnsembleDefaults(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	res, err := Ensemble(g, 4, EnsembleOptions{Base: Options{MaxSteps: 400, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.NumParts() != 4 {
+		t.Fatalf("NumParts = %d", res.Best.NumParts())
+	}
+}
+
+func TestEnsembleAllFail(t *testing.T) {
+	g := graph.Path(3)
+	// k > n makes every run fail.
+	if _, err := Ensemble(g, 5, EnsembleOptions{Base: Options{MaxSteps: 10}, Runs: 3}); err == nil {
+		t.Fatal("expected error when all runs fail")
+	}
+}

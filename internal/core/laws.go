@@ -1,0 +1,139 @@
+package core
+
+// laws implements the paper's learned fusion/fission laws (section 4.1):
+// for every atom size there are two laws — one for fusion, one for fission —
+// each a probability distribution over how many nucleons (0..3) the event
+// ejects. The number of laws is twice the number of vertices. When a drawn
+// ejection count leads to lower energy the law is reinforced: its
+// probability gains the input value delta and the alternatives lose a third
+// of it each; otherwise it is weakened symmetrically. Probabilities stay
+// strictly inside (0,1) and always sum to 1 over the admissible counts.
+
+const (
+	maxEject = 3
+	probMin  = 0.02
+	probMax  = 0.94
+)
+
+type lawKind int
+
+const (
+	lawFusion lawKind = iota
+	lawFission
+)
+
+type laws struct {
+	table [2][][maxEject + 1]float64 // [kind][atom size] -> probabilities
+}
+
+// newLaws creates uniform laws for atoms of size 0..n.
+func newLaws(n int) *laws {
+	l := &laws{}
+	for kind := 0; kind < 2; kind++ {
+		l.table[kind] = make([][maxEject + 1]float64, n+1)
+		for size := range l.table[kind] {
+			m := admissible(lawKind(kind), size)
+			for j := 0; j <= m; j++ {
+				l.table[kind][size][j] = 1 / float64(m+1)
+			}
+		}
+	}
+	return l
+}
+
+// admissible returns the largest ejection count allowed for an event on an
+// atom of the given size: a fusion result of size s can spare at most s-1
+// nucleons, a fission of size s must keep one nucleon on each side.
+func admissible(kind lawKind, size int) int {
+	var m int
+	if kind == lawFusion {
+		m = size - 1
+	} else {
+		m = size - 2
+	}
+	if m > maxEject {
+		m = maxEject
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// clampSize maps a size onto the table range.
+func (l *laws) clampSize(size int) int {
+	if size < 0 {
+		return 0
+	}
+	if size >= len(l.table[0]) {
+		return len(l.table[0]) - 1
+	}
+	return size
+}
+
+// draw samples an ejection count for an event of the given kind and size.
+func (l *laws) draw(kind lawKind, size int, u float64) int {
+	size = l.clampSize(size)
+	m := admissible(kind, size)
+	probs := &l.table[kind][size]
+	total := 0.0
+	for j := 0; j <= m; j++ {
+		total += probs[j]
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := u * total
+	acc := 0.0
+	for j := 0; j <= m; j++ {
+		acc += probs[j]
+		if x < acc {
+			return j
+		}
+	}
+	return m
+}
+
+// update reinforces (better) or weakens the law entry for ejecting j
+// nucleons in an event of the given kind and size.
+func (l *laws) update(kind lawKind, size, j int, better bool, delta float64) {
+	size = l.clampSize(size)
+	m := admissible(kind, size)
+	if m == 0 || j > m {
+		return
+	}
+	probs := &l.table[kind][size]
+	sign := 1.0
+	if !better {
+		sign = -1
+	}
+	probs[j] += sign * delta
+	share := sign * delta / 3
+	for i := 0; i <= m; i++ {
+		if i != j {
+			probs[i] -= share
+		}
+	}
+	// Clamp into (0,1) and renormalize over the admissible range.
+	total := 0.0
+	for i := 0; i <= m; i++ {
+		if probs[i] < probMin {
+			probs[i] = probMin
+		}
+		if probs[i] > probMax {
+			probs[i] = probMax
+		}
+		total += probs[i]
+	}
+	for i := 0; i <= m; i++ {
+		probs[i] /= total
+	}
+	for i := m + 1; i <= maxEject; i++ {
+		probs[i] = 0
+	}
+}
+
+// probs returns a copy of the distribution for inspection (tests).
+func (l *laws) probs(kind lawKind, size int) [maxEject + 1]float64 {
+	return l.table[kind][l.clampSize(size)]
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// search carries the mutable state of one fusion-fission run.
+type search struct {
+	g    *graph.Graph
+	k    int
+	opt  Options
+	r    *rand.Rand
+	laws *laws
+
+	energy *energyModel
+	cur    *partition.P
+	// maxPartVW softly caps vertex-level flows into any single atom so
+	// that size-insensitive objectives (Cut) cannot grow one giant part;
+	// the sets must stay "of roughly equal size" (section 1).
+	maxPartVW float64
+
+	bestOverall  *partition.P // lowest scaled energy, any atom count
+	bestOverallE float64
+	bestAtK      *partition.P // lowest raw objective among exactly-K states
+	bestAtKE     float64
+	bestPerK     map[int]float64
+	trace        []TracePoint
+}
+
+func newSearch(g *graph.Graph, k int, opt Options) *search {
+	// Ncut and Mcut penalize starved parts through their denominators, so
+	// atoms self-balance and a loose cap suffices; plain Cut has no such
+	// pressure — there the "roughly equal size" constraint of section 1 is
+	// what makes min-cut non-trivial, so the cap is tight.
+	capFactor := 2.0
+	if opt.Objective == objective.Cut {
+		capFactor = 1.3
+	}
+	return &search{
+		g:            g,
+		k:            k,
+		opt:          opt,
+		r:            rng.New(opt.Seed),
+		laws:         newLaws(g.NumVertices()),
+		energy:       newEnergyModel(g, opt.Objective, k),
+		cur:          partition.New(g, g.NumVertices()),
+		maxPartVW:    capFactor * g.TotalVertexWeight() / float64(k),
+		bestOverallE: math.Inf(1),
+		bestAtKE:     math.Inf(1),
+		bestPerK:     make(map[int]float64),
+	}
+}
+
+// afterEvent updates the incumbents and the trace from the current state.
+func (s *search) afterEvent(start time.Time) {
+	e := s.energy.energy(s.cur)
+	if e < s.bestOverallE {
+		s.bestOverallE = e
+		if s.bestOverall == nil {
+			s.bestOverall = s.cur.Clone()
+		} else {
+			s.bestOverall.CopyFrom(s.cur)
+		}
+	}
+	kNow := s.cur.NumParts()
+	raw := s.energy.raw(s.cur)
+	if old, ok := s.bestPerK[kNow]; !ok || raw < old {
+		s.bestPerK[kNow] = raw
+	}
+	if kNow == s.k && raw < s.bestAtKE {
+		s.bestAtKE = raw
+		if s.bestAtK == nil {
+			s.bestAtK = s.cur.Clone()
+		} else {
+			s.bestAtK.CopyFrom(s.cur)
+		}
+		s.trace = append(s.trace, TracePoint{Elapsed: time.Since(start), Energy: raw})
+	}
+}
+
+// initialize is Algorithm 2: the run starts from the molecule in which every
+// vertex is its own atom (maximal energy) and fusion events — with law-drawn
+// nucleon ejections, but no temperature and no nucleon-induced fission —
+// group the atoms until the target count is reached.
+func (s *search) initialize() {
+	n := s.g.NumVertices()
+	for v := 0; v < n; v++ {
+		s.cur.Assign(v, v) // atom per vertex
+	}
+	nBar := float64(n) / float64(s.k)
+	maxSteps := 8 * n // generous: each fusion removes an atom
+	for step := 0; step < maxSteps && s.cur.NumParts() > s.k; step++ {
+		atom := chooseAtom(s.cur, s.r)
+		if atom < 0 {
+			break
+		}
+		prevE := s.energy.energy(s.cur)
+		// Initialization heuristic: fuse while the atom is below the mean
+		// size, occasionally split clearly oversized atoms.
+		size := float64(s.cur.PartSize(atom))
+		if size > 2*nBar && s.cur.PartSize(atom) >= 2 && s.r.Float64() < 0.5 {
+			eject := s.laws.draw(lawFission, int(size), s.r.Float64())
+			slot := fissionSplit(s.cur, atom, !s.opt.DisablePercolationFission, s.r)
+			if slot >= 0 {
+				for _, v := range selectEjections(s.cur, atom, eject) {
+					nfusion(s.cur, v, atom, s.maxPartVW)
+				}
+				if !s.opt.DisableLawLearning {
+					s.laws.update(lawFission, int(size), eject, s.energy.energy(s.cur) < prevE, s.opt.LawDelta)
+				}
+			}
+			continue
+		}
+		partner := choosePartner(s.cur, atom, 0, s.maxPartVW, s.r)
+		if partner < 0 {
+			continue
+		}
+		merged := fuse(s.cur, atom, partner)
+		msize := s.cur.PartSize(merged)
+		eject := s.laws.draw(lawFusion, msize, s.r.Float64())
+		for _, v := range selectEjections(s.cur, merged, eject) {
+			nfusion(s.cur, v, merged, s.maxPartVW)
+		}
+		if !s.opt.DisableLawLearning {
+			s.laws.update(lawFusion, msize, eject, s.energy.energy(s.cur) < prevE, s.opt.LawDelta)
+		}
+	}
+}
+
+// relaxAtoms runs one pass of nucleon relaxation over the boundary of the
+// given atom and its neighborhood: every nucleon of the atom whose move to a
+// connected atom lowers the scaled energy is reabsorbed there (the same
+// nucleon-movement mechanism as ejection, applied until the event's region
+// is locally stable). Part counts never change — a nucleon never leaves a
+// singleton — so the penalty term is constant across the candidate moves.
+func (s *search) relaxAtoms(atom int) {
+	if s.cur.PartSize(atom) == 0 {
+		return
+	}
+	for _, v32 := range s.cur.VerticesOf(atom) {
+		v := int(v32)
+		from := s.cur.Part(v)
+		if s.cur.PartSize(from) <= 1 {
+			continue
+		}
+		// Candidate atoms: those v touches, below the soft weight cap.
+		// moveDelta makes each candidate O(deg v) instead of a full
+		// objective evaluation.
+		bestTo, bestDelta := -1, -1e-12
+		vw := s.g.VertexWeight(v)
+		seen := map[int]bool{from: true}
+		for _, u := range s.g.Neighbors(v) {
+			b := s.cur.Part(int(u))
+			if b == partition.Unassigned || seen[b] {
+				continue
+			}
+			seen[b] = true
+			if s.cur.PartVertexWeight(b)+vw > s.maxPartVW {
+				continue
+			}
+			if d := s.energy.moveDelta(s.cur, v, from, b); d < bestDelta {
+				bestTo, bestDelta = b, d
+			}
+		}
+		if bestTo >= 0 {
+			s.cur.Move(v, bestTo)
+		}
+	}
+}
+
+// relaxAll sweeps every atom once with nucleon relaxation — the freezing-
+// point consolidation: at minimal temperature every loose nucleon settles
+// into its best-bound atom (section 4.2's cold regime, where ejected
+// nucleons are "incorporated into atoms"). Runs once per temperature cycle.
+func (s *search) relaxAll() {
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for v := 0; v < s.g.NumVertices(); v++ {
+			from := s.cur.Part(v)
+			if from == partition.Unassigned || s.cur.PartSize(from) <= 1 {
+				continue
+			}
+			bestTo, bestDelta := -1, -1e-12
+			vw := s.g.VertexWeight(v)
+			seen := map[int]bool{from: true}
+			for _, u := range s.g.Neighbors(v) {
+				b := s.cur.Part(int(u))
+				if b == partition.Unassigned || seen[b] {
+					continue
+				}
+				seen[b] = true
+				if s.cur.PartVertexWeight(b)+vw > s.maxPartVW {
+					continue
+				}
+				if d := s.energy.moveDelta(s.cur, v, from, b); d < bestDelta {
+					bestTo, bestDelta = b, d
+				}
+			}
+			if bestTo >= 0 {
+				s.cur.Move(v, bestTo)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// normalizeToK forces the current partition to exactly k non-empty parts by
+// merging the most-connected pairs (k' > k) or percolation-splitting the
+// largest atoms (k' < k).
+func (s *search) normalizeToK() {
+	for s.cur.NumParts() > s.k {
+		a, b := bestMergePair(s.cur)
+		if a < 0 {
+			// No connected pair (disconnected leftovers): merge the two
+			// smallest parts.
+			parts := s.cur.NonEmptyParts()
+			sort.Slice(parts, func(i, j int) bool {
+				return s.cur.PartSize(parts[i]) < s.cur.PartSize(parts[j])
+			})
+			a, b = parts[0], parts[1]
+		}
+		s.cur.MergeParts(a, b)
+	}
+	for s.cur.NumParts() < s.k {
+		largest := -1
+		for _, a := range s.cur.NonEmptyParts() {
+			if largest < 0 || s.cur.PartSize(a) > s.cur.PartSize(largest) {
+				largest = a
+			}
+		}
+		if largest < 0 || s.cur.PartSize(largest) < 2 {
+			break
+		}
+		if fissionSplit(s.cur, largest, !s.opt.DisablePercolationFission, s.r) < 0 {
+			break
+		}
+	}
+}
+
+// bestMergePair returns the connected pair of parts whose merge costs the
+// least objective increase per the connection weight — i.e. the pair with
+// the strongest mutual connection (smallest paper-distance).
+func bestMergePair(p *partition.P) (int, int) {
+	bestA, bestB, bestW := -1, -1, -1.0
+	for _, a := range p.NonEmptyParts() {
+		for b, w := range p.ConnectedParts(a) {
+			if b <= a {
+				continue
+			}
+			if w > bestW {
+				bestA, bestB, bestW = a, b, w
+			}
+		}
+	}
+	return bestA, bestB
+}

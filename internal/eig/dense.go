@@ -1,0 +1,97 @@
+package eig
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigenDense computes all eigenvalues and eigenvectors of the dense
+// symmetric matrix a (row-major n x n) with the cyclic Jacobi method.
+// Eigenvalues are returned in ascending order; vectors[k] is the unit
+// eigenvector of values[k]. It is O(n^3) per sweep and intended for small
+// matrices: coarse-graph spectral fallback and test oracles.
+func SymEigenDense(n int, a []float64) (values []float64, vectors [][]float64, err error) {
+	if len(a) != n*n {
+		return nil, nil, fmt.Errorf("eig: matrix length %d != %d^2", len(a), n)
+	}
+	m := append([]float64(nil), a...)
+	// v[col][row]: accumulated rotations, initially identity.
+	v := make([][]float64, n)
+	for j := range v {
+		v[j] = make([]float64, n)
+		v[j][j] = 1
+	}
+	at := func(i, j int) float64 { return m[i*n+j] }
+	set := func(i, j int, x float64) { m[i*n+j] = x }
+
+	off := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += at(i, j) * at(i, j)
+			}
+		}
+		return s
+	}
+	norm := 0.0
+	for _, x := range m {
+		norm += x * x
+	}
+	tol := 1e-24 * math.Max(norm, 1)
+
+	for sweep := 0; sweep < 100; sweep++ {
+		if off() <= tol {
+			break
+		}
+		if sweep == 99 {
+			return nil, nil, fmt.Errorf("eig: Jacobi failed to converge in 100 sweeps")
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := at(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := at(p, p), at(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := at(k, p), at(k, q)
+					set(k, p, c*akp-s*akq)
+					set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := at(p, k), at(q, k)
+					set(p, k, c*apk-s*aqk)
+					set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vp, vq := v[p][k], v[q][k]
+					v[p][k] = c*vp - s*vq
+					v[q][k] = s*vp + c*vq
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = at(i, i)
+	}
+	// Sort ascending with vectors.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] < vals[k] {
+				k = j
+			}
+		}
+		if k != i {
+			vals[i], vals[k] = vals[k], vals[i]
+			v[i], v[k] = v[k], v[i]
+		}
+	}
+	return vals, v, nil
+}

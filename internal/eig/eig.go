@@ -1,0 +1,135 @@
+// Package eig implements the eigensolvers that back spectral partitioning:
+//
+//   - Lanczos with full reorthogonalization and deflation, the method Chaco
+//     uses for graphs up to ~10,000 vertices (paper section 2.1);
+//   - a symmetric tridiagonal QL solver (EISPACK tql2) used to extract Ritz
+//     pairs from the Lanczos tridiagonal;
+//   - MINRES, a Paige-Saunders Krylov solver for symmetric indefinite
+//     systems, standing in for SYMMLQ in the RQI/Symmlq eigensolver (both
+//     solve (A - sigma*I)x = b; MINRES is its minimum-residual sibling);
+//   - Rayleigh Quotient Iteration (RQI) that polishes an approximate Fiedler
+//     vector to high accuracy, mirroring Chaco's RQI/Symmlq mode;
+//   - a cyclic Jacobi dense eigensolver used as a small-problem fallback and
+//     as the reference oracle in tests.
+package eig
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Operator is a symmetric linear operator on R^n.
+type Operator interface {
+	Dim() int
+	// MulVec computes dst = A x; dst and x never alias.
+	MulVec(dst, x []float64)
+}
+
+// Shifted wraps A as A - Sigma*I.
+type Shifted struct {
+	A     Operator
+	Sigma float64
+}
+
+// Dim returns the operator dimension.
+func (s *Shifted) Dim() int { return s.A.Dim() }
+
+// MulVec computes dst = (A - Sigma*I) x.
+func (s *Shifted) MulVec(dst, x []float64) {
+	s.A.MulVec(dst, x)
+	if s.Sigma != 0 {
+		for i := range dst {
+			dst[i] -= s.Sigma * x[i]
+		}
+	}
+}
+
+// Dense is a dense symmetric operator, used for small problems and tests.
+type Dense struct {
+	N int
+	A []float64 // row-major N x N
+}
+
+// Dim returns the matrix dimension.
+func (d *Dense) Dim() int { return d.N }
+
+// MulVec computes dst = A x.
+func (d *Dense) MulVec(dst, x []float64) {
+	for i := 0; i < d.N; i++ {
+		s := 0.0
+		row := d.A[i*d.N : (i+1)*d.N]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// axpy computes y += alpha*x.
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// scale multiplies x by alpha in place.
+func scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// projectOut removes the components of x along each (orthonormal) basis
+// vector, twice for numerical robustness.
+func projectOut(x []float64, basis [][]float64) {
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range basis {
+			axpy(-Dot(q, x), q, x)
+		}
+	}
+}
+
+// ConstantVector returns the unit constant vector (1/sqrt(n), ...), the
+// trivial null vector of a connected graph Laplacian, for deflation.
+func ConstantVector(n int) []float64 {
+	v := make([]float64, n)
+	c := 1 / math.Sqrt(float64(n))
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// randomUnit fills x with a random unit vector orthogonal to basis.
+func randomUnit(r *rand.Rand, x []float64, basis [][]float64) {
+	for {
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		projectOut(x, basis)
+		if n := Norm2(x); n > 1e-8 {
+			scale(1/n, x)
+			return
+		}
+	}
+}
+
+// Residual returns ||A x - lambda x|| for a unit vector x.
+func Residual(a Operator, lambda float64, x []float64) float64 {
+	tmp := make([]float64, a.Dim())
+	a.MulVec(tmp, x)
+	axpy(-lambda, x, tmp)
+	return Norm2(tmp)
+}

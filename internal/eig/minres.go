@@ -1,0 +1,115 @@
+package eig
+
+import "math"
+
+// MinresOptions configures the MINRES solver.
+type MinresOptions struct {
+	// Tol is the relative residual tolerance ||r|| <= Tol*||b||. 0 = 1e-10.
+	Tol float64
+	// MaxIter caps the iteration count. 0 means 4*n.
+	MaxIter int
+	// Deflate lists orthonormal vectors; the solve is restricted to their
+	// orthogonal complement (b is projected, and every Lanczos vector too).
+	// This keeps nearly-singular shifted Laplacian systems well posed.
+	Deflate [][]float64
+}
+
+// Minres solves the symmetric (possibly indefinite) system A x = b with the
+// Paige-Saunders MINRES method. It fills x (which must be zeroed or hold an
+// ignored value) and returns the final relative residual estimate and the
+// iteration count.
+//
+// In this repository it plays the role SYMMLQ plays inside Chaco's
+// RQI/Symmlq eigensolver: both are Paige-Saunders Krylov methods for
+// symmetric indefinite systems built on the same Lanczos process; MINRES is
+// the minimum-residual variant, which is more robust when the shifted
+// operator is nearly singular — exactly the RQI regime.
+func Minres(a Operator, b, x []float64, opt MinresOptions) (relres float64, iters int) {
+	n := a.Dim()
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 4 * n
+	}
+
+	for i := range x {
+		x[i] = 0
+	}
+	r := append([]float64(nil), b...)
+	projectOut(r, opt.Deflate)
+	beta1 := Norm2(r)
+	if beta1 == 0 {
+		return 0, 0
+	}
+
+	// Lanczos vectors v_{k-1}, v_k and scratch.
+	vPrev := make([]float64, n)
+	v := append([]float64(nil), r...)
+	scale(1/beta1, v)
+	tmp := make([]float64, n)
+
+	// Givens rotation state: (c2, s2) from step k-2, (c1, s1) from k-1.
+	c2, s2 := 1.0, 0.0
+	c1, s1 := 1.0, 0.0
+	// Direction vectors w_{k-2}, w_{k-1}.
+	w2 := make([]float64, n)
+	w1 := make([]float64, n)
+	phiBar := beta1
+	betaK := 0.0 // beta_k couples v_{k-1}, v_k
+
+	for k := 1; k <= maxIter; k++ {
+		// Lanczos step: tmp = A v - beta_k v_{k-1}; alpha = v.tmp.
+		a.MulVec(tmp, v)
+		if betaK != 0 {
+			axpy(-betaK, vPrev, tmp)
+		}
+		alpha := Dot(v, tmp)
+		axpy(-alpha, v, tmp)
+		projectOut(tmp, opt.Deflate)
+		betaNext := Norm2(tmp)
+
+		// Apply previous rotations to the new column (beta_k, alpha, betaNext).
+		rho3 := s2 * betaK
+		deltaTilde := c2 * betaK
+		rho2 := c1*deltaTilde + s1*alpha
+		gammaTilde := -s1*deltaTilde + c1*alpha
+
+		// New rotation to annihilate betaNext.
+		rho1 := math.Hypot(gammaTilde, betaNext)
+		if rho1 == 0 {
+			// Exactly singular projected system; return best effort.
+			return phiBar / beta1, k - 1
+		}
+		c := gammaTilde / rho1
+		s := betaNext / rho1
+
+		// Update direction: w = (v - rho3*w2 - rho2*w1)/rho1.
+		for i := 0; i < n; i++ {
+			wi := (v[i] - rho3*w2[i] - rho2*w1[i]) / rho1
+			w2[i] = w1[i]
+			w1[i] = wi
+		}
+		phi := c * phiBar
+		phiBar = -s * phiBar
+		axpy(phi, w1, x)
+
+		if math.Abs(phiBar) <= tol*beta1 {
+			return math.Abs(phiBar) / beta1, k
+		}
+		if betaNext < 1e-14 {
+			// Krylov space exhausted.
+			return math.Abs(phiBar) / beta1, k
+		}
+
+		// Advance Lanczos vectors and rotation history.
+		vPrev, v, tmp = v, tmp, vPrev
+		scale(1/betaNext, v)
+		betaK = betaNext
+		c2, s2 = c1, s1
+		c1, s1 = c, s
+	}
+	return math.Abs(phiBar) / beta1, maxIter
+}

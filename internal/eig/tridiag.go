@@ -1,0 +1,109 @@
+package eig
+
+import (
+	"fmt"
+	"math"
+)
+
+// TridiagQL computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal d (length n) and subdiagonal e (length n,
+// e[i] couples rows i and i+1; e[n-1] is ignored). It is a port of the
+// EISPACK/JAMA tql2 routine (QL with implicit shifts).
+//
+// On return, values holds the eigenvalues in ascending order and vectors[k]
+// is the unit eigenvector for values[k], expressed in the input basis.
+func TridiagQL(d, e []float64) (values []float64, vectors [][]float64, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e[:n-1])
+	// z is the accumulated orthogonal transform, initially the identity,
+	// stored column-major: z[j] is column j (eigenvector j at the end).
+	z := make([][]float64, n)
+	for j := range z {
+		z[j] = make([]float64, n)
+		z[j][j] = 1
+	}
+
+	// Note: JAMA's tql2 shifts its subdiagonal array up one slot on entry
+	// because its input convention couples rows i-1 and i. Our convention
+	// (e[i] couples rows i and i+1) already matches the post-shift layout.
+	f := 0.0
+	tst1 := 0.0
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(dd[l])+math.Abs(ee[l]))
+		m := l
+		for m < n && math.Abs(ee[m]) > eps*tst1 {
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 64 {
+					return nil, nil, fmt.Errorf("eig: tridiagonal QL failed to converge at row %d", l)
+				}
+				g := dd[l]
+				p := (dd[l+1] - g) / (2 * ee[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				dd[l] = ee[l] / (p + r)
+				dd[l+1] = ee[l] * (p + r)
+				dl1 := dd[l+1]
+				h := g - dd[l]
+				for i := l + 2; i < n; i++ {
+					dd[i] -= h
+				}
+				f += h
+
+				p = dd[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := ee[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3, c2, s2 = c2, c, s
+					g = c * ee[i]
+					h = c * p
+					r = math.Hypot(p, ee[i])
+					ee[i+1] = s * r
+					s = ee[i] / r
+					c = p / r
+					p = c*dd[i] - s*g
+					dd[i+1] = h + s*(c*g+s*dd[i])
+					for k := 0; k < n; k++ {
+						h = z[i+1][k]
+						z[i+1][k] = s*z[i][k] + c*h
+						z[i][k] = c*z[i][k] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * ee[l] / dl1
+				ee[l] = s * p
+				dd[l] = c * p
+				if math.Abs(ee[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		dd[l] += f
+		ee[l] = 0
+	}
+
+	// Sort eigenvalues ascending, permuting vectors alongside.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if dd[j] < dd[k] {
+				k = j
+			}
+		}
+		if k != i {
+			dd[i], dd[k] = dd[k], dd[i]
+			z[i], z[k] = z[k], z[i]
+		}
+	}
+	return dd, z, nil
+}

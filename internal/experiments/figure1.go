@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/antcolony"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/multilevel"
+	"repro/internal/objective"
+	"repro/internal/spectral"
+)
+
+// Figure1Point is one sample of an anytime curve.
+type Figure1Point struct {
+	Elapsed time.Duration
+	Mcut    float64
+}
+
+// Figure1Series is the anytime curve of one metaheuristic.
+type Figure1Series struct {
+	Name   string
+	Points []Figure1Point // cumulative best Mcut over time, non-increasing
+}
+
+// Figure1Result bundles the metaheuristic curves with the reference levels
+// (the horizontal "best spectral cut" and "best multilevel cut" lines of the
+// paper's figure).
+type Figure1Result struct {
+	Series         []Figure1Series
+	SpectralMcut   float64
+	MultilevelMcut float64
+	SpectralTime   time.Duration
+	MultilevelTime time.Duration
+}
+
+// Figure1Options configures the run.
+type Figure1Options struct {
+	// K is the part count (paper: 32).
+	K int
+	// Seed drives every stochastic method.
+	Seed int64
+	// Budget is the wall-clock budget per metaheuristic (the paper's axis
+	// runs from 1 s to 60 m; default 3s — scale up at will).
+	Budget time.Duration
+}
+
+// Figure1 reproduces the paper's running-time figure: the three
+// metaheuristics' best-so-far Mcut traces on g, plus the best spectral and
+// multilevel values as reference levels.
+func Figure1(g *graph.Graph, opt Figure1Options) (*Figure1Result, error) {
+	if opt.K == 0 {
+		opt.K = 32
+	}
+	if opt.Budget == 0 {
+		opt.Budget = 3 * time.Second
+	}
+	res := &Figure1Result{}
+
+	// Reference levels: best Mcut over the spectral rows and over the
+	// multilevel rows, timed.
+	start := time.Now()
+	res.SpectralMcut = math.Inf(1)
+	for _, arity := range []int{2, 8} {
+		for _, kl := range []bool{false, true} {
+			p, err := spectral.Partition(g, opt.K, spectral.Options{Arity: arity, KL: kl, Seed: opt.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("figure1 spectral reference: %w", err)
+			}
+			if m := objective.MCut.Evaluate(p); m < res.SpectralMcut {
+				res.SpectralMcut = m
+			}
+		}
+	}
+	res.SpectralTime = time.Since(start)
+	start = time.Now()
+	res.MultilevelMcut = math.Inf(1)
+	for _, arity := range []int{2, 8} {
+		p, err := multilevel.Partition(g, opt.K, multilevel.Options{Arity: arity, Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("figure1 multilevel reference: %w", err)
+		}
+		if m := objective.MCut.Evaluate(p); m < res.MultilevelMcut {
+			res.MultilevelMcut = m
+		}
+	}
+	res.MultilevelTime = time.Since(start)
+
+	// Metaheuristic anytime traces (each targets Mcut, the figure's axis).
+	sa, err := anneal.Partition(g, opt.K, anneal.Options{
+		Objective: objective.MCut, Budget: opt.Budget, MaxSteps: 1 << 30, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure1 annealing: %w", err)
+	}
+	res.Series = append(res.Series, seriesFrom("simulated annealing", saTrace(sa.Trace)))
+
+	ac, err := antcolony.Partition(g, opt.K, antcolony.Options{
+		Objective: objective.MCut, Budget: opt.Budget, Iterations: 1 << 30, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure1 ant colony: %w", err)
+	}
+	res.Series = append(res.Series, seriesFrom("ant colony", acTrace(ac.Trace)))
+
+	ff, err := core.Partition(g, opt.K, core.Options{
+		Objective: objective.MCut, Budget: opt.Budget, MaxSteps: 1 << 30, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure1 fusion fission: %w", err)
+	}
+	res.Series = append(res.Series, seriesFrom("fusion fission", ffTrace(ff.Trace)))
+	return res, nil
+}
+
+func saTrace(tr []anneal.TracePoint) []Figure1Point {
+	out := make([]Figure1Point, len(tr))
+	for i, t := range tr {
+		out[i] = Figure1Point{t.Elapsed, t.Energy}
+	}
+	return out
+}
+
+func acTrace(tr []antcolony.TracePoint) []Figure1Point {
+	out := make([]Figure1Point, len(tr))
+	for i, t := range tr {
+		out[i] = Figure1Point{t.Elapsed, t.Energy}
+	}
+	return out
+}
+
+func ffTrace(tr []core.TracePoint) []Figure1Point {
+	out := make([]Figure1Point, len(tr))
+	for i, t := range tr {
+		out[i] = Figure1Point{t.Elapsed, t.Energy}
+	}
+	return out
+}
+
+func seriesFrom(name string, pts []Figure1Point) Figure1Series {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Elapsed < pts[j].Elapsed })
+	return Figure1Series{Name: name, Points: pts}
+}
+
+// At returns the best value achieved by the series at or before t, or +Inf.
+func (s Figure1Series) At(t time.Duration) float64 {
+	best := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Elapsed > t {
+			break
+		}
+		if p.Mcut < best {
+			best = p.Mcut
+		}
+	}
+	return best
+}
+
+// FormatFigure1 renders the curves as a text table sampled on a geometric
+// time ladder, mirroring the paper's log-scale time axis.
+func FormatFigure1(r *Figure1Result) string {
+	var b strings.Builder
+	maxT := time.Duration(0)
+	for _, s := range r.Series {
+		if n := len(s.Points); n > 0 && s.Points[n-1].Elapsed > maxT {
+			maxT = s.Points[n-1].Elapsed
+		}
+	}
+	if maxT == 0 {
+		maxT = time.Second
+	}
+	ladder := []time.Duration{maxT}
+	for t := maxT; t > time.Millisecond; t /= 3 {
+		ladder = append(ladder, t/3)
+	}
+	sort.Slice(ladder, func(i, j int) bool { return ladder[i] < ladder[j] })
+
+	fmt.Fprintf(&b, "%-12s", "time")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, t := range ladder {
+		fmt.Fprintf(&b, "%-12s", t.Round(time.Millisecond))
+		for _, s := range r.Series {
+			v := s.At(t)
+			if math.IsInf(v, 1) {
+				fmt.Fprintf(&b, " %20s", "-")
+			} else {
+				fmt.Fprintf(&b, " %20.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "reference: best spectral Mcut %.2f (%s), best multilevel Mcut %.2f (%s)\n",
+		r.SpectralMcut, r.SpectralTime.Round(time.Millisecond),
+		r.MultilevelMcut, r.MultilevelTime.Round(time.Millisecond))
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package genetic implements a genetic-algorithm partitioner, the prior
+// metaheuristic family the paper's introduction cites ([28] Talbi-Bessiere,
+// [12] Greene) as having been applied to graph partitioning before fusion-
+// fission. It is provided as an extension baseline, not a Table 1 row:
+// a steady-state GA over assignments with tournament selection, uniform
+// crossover followed by balance repair, move mutation, and elitism.
+package genetic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/percolation"
+	"repro/internal/refine"
+	"repro/internal/rng"
+)
+
+// Options configures the GA.
+type Options struct {
+	// Objective is the fitness criterion (default MCut).
+	Objective objective.Objective
+	// Population size (default 24).
+	Population int
+	// TournamentSize for parent selection (default 3).
+	TournamentSize int
+	// MutationRate is the per-child expected number of random vertex moves
+	// (default 4).
+	MutationRate int
+	// Elite is how many best individuals survive unchanged (default 2).
+	Elite int
+	// LocalSearch applies one greedy k-way pass to each child (memetic
+	// variant; default true — set DisableLocalSearch to ablate).
+	DisableLocalSearch bool
+	// Generations caps the evolution (default 200).
+	Generations int
+	// Budget caps wall-clock time; 0 means no limit.
+	Budget time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Population == 0 {
+		o.Population = 24
+	}
+	if o.TournamentSize == 0 {
+		o.TournamentSize = 3
+	}
+	if o.MutationRate == 0 {
+		o.MutationRate = 4
+	}
+	if o.Elite == 0 {
+		o.Elite = 2
+	}
+	if o.Generations == 0 {
+		o.Generations = 200
+	}
+	return o
+}
+
+// Result is the GA outcome.
+type Result struct {
+	Best        *partition.P
+	Energy      float64
+	Generations int
+}
+
+type individual struct {
+	assign  []int32
+	fitness float64
+}
+
+// Partition evolves a k-way partition of g.
+func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("genetic: k=%d out of range [2,%d]", k, n)
+	}
+	r := rng.New(opt.Seed)
+	eps := 1e-6 * (2 * g.TotalEdgeWeight() / float64(n))
+	fitnessOf := func(assign []int32) float64 {
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			return 1e300
+		}
+		return opt.Objective.EvaluateSmoothed(p, eps)
+	}
+
+	// Initial population: percolation partitions from diverse seeds plus
+	// random assignments for diversity.
+	pop := make([]individual, 0, opt.Population)
+	for i := 0; len(pop) < opt.Population; i++ {
+		var assign []int32
+		if i%2 == 0 {
+			p, err := percolation.Partition(g, k, percolation.Options{Seed: opt.Seed + int64(i)})
+			if err == nil {
+				assign = p.Assignment()
+			}
+		}
+		if assign == nil {
+			assign = randomAssignment(n, k, r)
+		}
+		pop = append(pop, individual{assign: assign, fitness: fitnessOf(assign)})
+	}
+	sortPop(pop)
+
+	start := time.Now()
+	gen := 0
+	for ; gen < opt.Generations; gen++ {
+		if opt.Budget > 0 && time.Since(start) > opt.Budget {
+			break
+		}
+		next := make([]individual, 0, opt.Population)
+		for e := 0; e < opt.Elite && e < len(pop); e++ {
+			next = append(next, pop[e])
+		}
+		for len(next) < opt.Population {
+			pa := tournament(pop, opt.TournamentSize, r)
+			pb := tournament(pop, opt.TournamentSize, r)
+			child := crossover(pa.assign, pb.assign, k, r)
+			mutate(child, k, opt.MutationRate, r)
+			repair(g, child, k, r)
+			if !opt.DisableLocalSearch {
+				if p, err := partition.FromAssignment(g, child, k); err == nil {
+					refine.KWay(p, refine.KWayOptions{
+						Objective: opt.Objective, MaxPasses: 1, Imbalance: 0.5,
+					})
+					child = p.Assignment()
+				}
+			}
+			next = append(next, individual{assign: child, fitness: fitnessOf(child)})
+		}
+		pop = next
+		sortPop(pop)
+	}
+
+	best, err := partition.FromAssignment(g, pop[0].assign, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Best:        best,
+		Energy:      opt.Objective.Evaluate(best),
+		Generations: gen,
+	}, nil
+}
+
+func sortPop(pop []individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness < pop[j].fitness })
+}
+
+func tournament(pop []individual, size int, r *rand.Rand) individual {
+	best := pop[r.Intn(len(pop))]
+	for i := 1; i < size; i++ {
+		if c := pop[r.Intn(len(pop))]; c.fitness < best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+func randomAssignment(n, k int, r *rand.Rand) []int32 {
+	assign := make([]int32, n)
+	for v := range assign {
+		assign[v] = int32(r.Intn(k))
+	}
+	// Guarantee every part exists.
+	perm := make([]int, n)
+	rng.Perm(r, perm)
+	for a := 0; a < k; a++ {
+		assign[perm[a]] = int32(a)
+	}
+	return assign
+}
+
+// crossover aligns the parents' part labels greedily by overlap (labels are
+// arbitrary, so naive uniform crossover would destroy both parents'
+// structure), then mixes them uniformly.
+func crossover(a, b []int32, k int, r *rand.Rand) []int32 {
+	// overlap[x][y] = #vertices with label x in a and y in b.
+	overlap := make([][]int, k)
+	for x := range overlap {
+		overlap[x] = make([]int, k)
+	}
+	for v := range a {
+		overlap[a[v]][b[v]]++
+	}
+	// Greedy assignment of b-labels to a-labels.
+	mapB := make([]int32, k)
+	usedA := make([]bool, k)
+	usedB := make([]bool, k)
+	for step := 0; step < k; step++ {
+		bx, by, bestOv := -1, -1, -1
+		for x := 0; x < k; x++ {
+			if usedA[x] {
+				continue
+			}
+			for y := 0; y < k; y++ {
+				if usedB[y] {
+					continue
+				}
+				if overlap[x][y] > bestOv {
+					bx, by, bestOv = x, y, overlap[x][y]
+				}
+			}
+		}
+		mapB[by] = int32(bx)
+		usedA[bx] = true
+		usedB[by] = true
+	}
+	child := make([]int32, len(a))
+	for v := range a {
+		if r.Intn(2) == 0 {
+			child[v] = a[v]
+		} else {
+			child[v] = mapB[b[v]]
+		}
+	}
+	return child
+}
+
+func mutate(assign []int32, k, rate int, r *rand.Rand) {
+	for i := 0; i < rate; i++ {
+		assign[r.Intn(len(assign))] = int32(r.Intn(k))
+	}
+}
+
+// repair guarantees every part is non-empty by reassigning random vertices
+// from the largest parts.
+func repair(g *graph.Graph, assign []int32, k int, r *rand.Rand) {
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for target := 0; target < k; target++ {
+		if counts[target] > 0 {
+			continue
+		}
+		// Steal a vertex from the largest part.
+		big := 0
+		for a := 1; a < k; a++ {
+			if counts[a] > counts[big] {
+				big = a
+			}
+		}
+		for attempt := 0; attempt < len(assign); attempt++ {
+			v := r.Intn(len(assign))
+			if int(assign[v]) == big && counts[big] > 1 {
+				assign[v] = int32(target)
+				counts[big]--
+				counts[target]++
+				break
+			}
+		}
+	}
+}

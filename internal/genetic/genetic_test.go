@@ -1,0 +1,131 @@
+package genetic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func TestGAFindsDumbbellCut(t *testing.T) {
+	g := graph.Dumbbell(10, 10, 1)
+	res, err := Partition(g, 2, Options{Seed: 1, Generations: 60, Objective: objective.Cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != 2 {
+		t.Fatalf("GA cut = %g, want optimal 2", res.Energy)
+	}
+}
+
+func TestGAKeepsKParts(t *testing.T) {
+	g := graph.RandomGeometric(80, 0.2, 4)
+	res, err := Partition(g, 5, Options{Seed: 4, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.NumParts() != 5 {
+		t.Fatalf("NumParts = %d", res.Best.NumParts())
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGADeterministic(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	r1, err := Partition(g, 4, Options{Seed: 7, Generations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Partition(g, 4, Options{Seed: 7, Generations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Energy != r2.Energy {
+		t.Fatalf("non-deterministic: %g vs %g", r1.Energy, r2.Energy)
+	}
+}
+
+func TestGABudget(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	start := time.Now()
+	res, err := Partition(g, 4, Options{Seed: 1, Budget: 50 * time.Millisecond, Generations: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("budget ignored")
+	}
+	if res.Generations >= 1<<20 {
+		t.Fatal("generation count not limited by budget")
+	}
+}
+
+func TestGAImprovesOverRandom(t *testing.T) {
+	g := graph.RandomGeometric(100, 0.18, 9)
+	// Fitness of a random assignment (generation 0 floor).
+	r := rng.New(9)
+	assign := randomAssignment(100, 4, r)
+	p, err := partition.FromAssignment(g, assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomFit := objective.MCut.Evaluate(p)
+	res, err := Partition(g, 4, Options{Seed: 9, Generations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy >= randomFit {
+		t.Fatalf("GA (%g) no better than random (%g)", res.Energy, randomFit)
+	}
+}
+
+func TestCrossoverPreservesAlignedStructure(t *testing.T) {
+	// Crossing an individual with a relabeled copy of itself must yield the
+	// same partition (label alignment is the whole point).
+	g := graph.Grid2D(6, 6)
+	_ = g
+	a := make([]int32, 36)
+	b := make([]int32, 36)
+	for v := range a {
+		a[v] = int32(v / 12) // 3 bands
+		b[v] = (a[v] + 1) % 3
+	}
+	r := rng.New(3)
+	child := crossover(a, b, 3, r)
+	for v := range child {
+		if child[v] != a[v] {
+			t.Fatalf("aligned crossover changed vertex %d: %d != %d", v, child[v], a[v])
+		}
+	}
+}
+
+func TestRepairRestoresEmptyParts(t *testing.T) {
+	g := graph.Path(10)
+	assign := make([]int32, 10) // everything in part 0; parts 1,2 empty
+	r := rng.New(5)
+	repair(g, assign, 3, r)
+	counts := map[int32]int{}
+	for _, a := range assign {
+		counts[a]++
+	}
+	for p := int32(0); p < 3; p++ {
+		if counts[p] == 0 {
+			t.Fatalf("part %d still empty after repair", p)
+		}
+	}
+}
+
+func TestGAErrors(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Partition(g, 1, Options{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Partition(g, 6, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}

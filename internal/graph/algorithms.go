@@ -1,0 +1,128 @@
+package graph
+
+// BFSLevels performs a breadth-first search from src and returns the hop
+// distance of every vertex (-1 for unreachable vertices).
+func BFSLevels(g *Graph, src int) []int32 {
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(int(v)) {
+			if level[u] < 0 {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return level
+}
+
+// Components labels each vertex with a connected-component id in [0, count)
+// and returns the labels and the component count.
+func Components(g *Graph) ([]int32, int) {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = int32(count)
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(int(v)) {
+				if comp[u] < 0 {
+					comp[u] = int32(count)
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether g has exactly one connected component.
+// The empty graph is considered connected.
+func IsConnected(g *Graph) bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	_, c := Components(g)
+	return c == 1
+}
+
+// Subgraph is an induced subgraph together with the vertex mapping back to
+// the parent graph.
+type Subgraph struct {
+	G    *Graph
+	Orig []int32 // Orig[local] = parent vertex id
+}
+
+// Induced returns the subgraph induced by the given parent vertices.
+// Edges with exactly one endpoint in the set are dropped. Vertex weights are
+// inherited. The order of vertices in the subgraph follows the order given.
+func Induced(g *Graph, vertices []int32) *Subgraph {
+	local := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		local[v] = int32(i)
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		b.SetVertexWeight(i, g.VertexWeight(int(v)))
+		nbrs := g.Neighbors(int(v))
+		wts := g.Weights(int(v))
+		for j, u := range nbrs {
+			lu, ok := local[u]
+			if !ok || lu <= int32(i) {
+				continue // outside the set, or already added from the other side
+			}
+			b.AddEdge(i, int(lu), wts[j])
+		}
+	}
+	return &Subgraph{G: b.MustBuild(), Orig: append([]int32(nil), vertices...)}
+}
+
+// FarthestPointSeeds returns k well-spread vertices chosen by greedy
+// farthest-point traversal on hop distance, starting from start. The start
+// vertex is the first seed. If k exceeds the number of reachable vertices the
+// result is truncated.
+func FarthestPointSeeds(g *Graph, start, k int) []int {
+	n := g.NumVertices()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	seeds := []int{start}
+	dist := BFSLevels(g, start)
+	for len(seeds) < k {
+		best, bestD := -1, int32(-1)
+		for v := 0; v < n; v++ {
+			if dist[v] > bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		if best < 0 || bestD <= 0 {
+			break // no further reachable vertex strictly away from the seed set
+		}
+		seeds = append(seeds, best)
+		for v, d := range BFSLevels(g, best) {
+			if d >= 0 && (dist[v] < 0 || d < dist[v]) {
+				dist[v] = d
+			}
+		}
+	}
+	return seeds
+}

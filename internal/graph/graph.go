@@ -1,0 +1,237 @@
+// Package graph implements the weighted undirected graph substrate used by
+// every partitioning method in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: adjacency for vertex
+// v occupies adjncy[xadj[v]:xadj[v+1]] with parallel edge weights. Each
+// undirected edge additionally carries a stable edge identifier in [0, m),
+// exposed per arc through ArcEdgeIDs; the ant-colony pheromone fields and the
+// FM refinement pass are keyed on those identifiers.
+//
+// The package also provides the standard helpers the partitioners need:
+// builders, traversal, connected components, induced subgraphs, synthetic
+// generators, and METIS/Chaco-format I/O.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable weighted undirected graph in CSR form.
+// Vertex weights default to 1. Edge weights must be positive.
+type Graph struct {
+	xadj   []int32   // len n+1; adjacency offsets
+	adjncy []int32   // len 2m; neighbor lists
+	adjwgt []float64 // len 2m; weights parallel to adjncy
+	arcEID []int32   // len 2m; undirected edge id per arc
+	eu, ev []int32   // len m; endpoints of edge id e, eu[e] < ev[e]
+	vwgt   []float64 // len n; vertex weights
+	totW   float64   // sum of undirected edge weights
+	totVW  float64   // sum of vertex weights
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int { return len(g.xadj) - 1 }
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int { return len(g.eu) }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return int(g.xadj[v+1] - g.xadj[v]) }
+
+// Neighbors returns the neighbor list of v as a shared slice view.
+// Callers must not modify the returned slice.
+func (g *Graph) Neighbors(v int) []int32 { return g.adjncy[g.xadj[v]:g.xadj[v+1]] }
+
+// Weights returns the edge weights parallel to Neighbors(v).
+// Callers must not modify the returned slice.
+func (g *Graph) Weights(v int) []float64 { return g.adjwgt[g.xadj[v]:g.xadj[v+1]] }
+
+// ArcEdgeIDs returns, parallel to Neighbors(v), the undirected edge id of
+// each incident edge. Callers must not modify the returned slice.
+func (g *Graph) ArcEdgeIDs(v int) []int32 { return g.arcEID[g.xadj[v]:g.xadj[v+1]] }
+
+// EdgeEndpoints returns the endpoints (u < v) of edge id e.
+func (g *Graph) EdgeEndpoints(e int) (int, int) { return int(g.eu[e]), int(g.ev[e]) }
+
+// VertexWeight returns the weight of vertex v.
+func (g *Graph) VertexWeight(v int) float64 { return g.vwgt[v] }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() float64 { return g.totVW }
+
+// TotalEdgeWeight returns the sum of all undirected edge weights.
+func (g *Graph) TotalEdgeWeight() float64 { return g.totW }
+
+// WeightedDegree returns d(v) = sum of the weights of edges incident to v.
+func (g *Graph) WeightedDegree(v int) float64 {
+	d := 0.0
+	for _, w := range g.Weights(v) {
+		d += w
+	}
+	return d
+}
+
+// EdgeWeight returns the weight of edge {u,v} and whether it exists.
+// It scans the shorter of the two adjacency lists.
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	nbrs := g.Neighbors(u)
+	wts := g.Weights(u)
+	for i, x := range nbrs {
+		if int(x) == v {
+			return wts[i], true
+		}
+	}
+	return 0, false
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int, w float64)) {
+	for e := range g.eu {
+		u, v := int(g.eu[e]), int(g.ev[e])
+		// Weight lookup via the first arc out of u that carries this id.
+		fn(u, v, g.edgeWeightByID(e))
+	}
+}
+
+func (g *Graph) edgeWeightByID(e int) float64 {
+	u := int(g.eu[e])
+	ids := g.ArcEdgeIDs(u)
+	for i, id := range ids {
+		if int(id) == e {
+			return g.Weights(u)[i]
+		}
+	}
+	panic("graph: inconsistent edge id table")
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Parallel edges between the same vertex pair are merged by summing weights.
+type Builder struct {
+	n     int
+	vwgt  []float64
+	edges map[[2]int32]float64
+	err   error
+}
+
+// NewBuilder returns a builder for a graph with n vertices, all of weight 1.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, vwgt: make([]float64, n), edges: make(map[[2]int32]float64)}
+	for i := range b.vwgt {
+		b.vwgt[i] = 1
+	}
+	return b
+}
+
+// AddEdge adds an undirected edge {u,v} with weight w, merging parallels.
+// Self-loops, out-of-range endpoints and non-positive weights are recorded as
+// errors reported by Build.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	switch {
+	case u == v:
+		b.err = fmt.Errorf("graph: self-loop at vertex %d", u)
+	case u < 0 || u >= b.n || v < 0 || v >= b.n:
+		b.err = fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	case w <= 0:
+		b.err = fmt.Errorf("graph: edge {%d,%d} has non-positive weight %g", u, v, w)
+	default:
+		if u > v {
+			u, v = v, u
+		}
+		b.edges[[2]int32{int32(u), int32(v)}] += w
+	}
+}
+
+// SetVertexWeight sets the weight of vertex v (default 1).
+func (b *Builder) SetVertexWeight(v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	if v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: vertex %d out of range [0,%d)", v, b.n)
+		return
+	}
+	if w <= 0 {
+		b.err = fmt.Errorf("graph: vertex %d has non-positive weight %g", v, w)
+		return
+	}
+	b.vwgt[v] = w
+}
+
+// NumPendingEdges reports how many distinct edges have been added so far.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build constructs the CSR graph. The builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := b.n
+	m := len(b.edges)
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	list := make([]edge, 0, m)
+	for k, w := range b.edges {
+		list = append(list, edge{k[0], k[1], w})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].u != list[j].u {
+			return list[i].u < list[j].u
+		}
+		return list[i].v < list[j].v
+	})
+
+	g := &Graph{
+		xadj:   make([]int32, n+1),
+		adjncy: make([]int32, 2*m),
+		adjwgt: make([]float64, 2*m),
+		arcEID: make([]int32, 2*m),
+		eu:     make([]int32, m),
+		ev:     make([]int32, m),
+		vwgt:   b.vwgt,
+	}
+	deg := make([]int32, n)
+	for _, e := range list {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	for v := 0; v < n; v++ {
+		g.xadj[v+1] = g.xadj[v] + deg[v]
+	}
+	pos := make([]int32, n)
+	copy(pos, g.xadj[:n])
+	for id, e := range list {
+		g.eu[id], g.ev[id] = e.u, e.v
+		g.adjncy[pos[e.u]] = e.v
+		g.adjwgt[pos[e.u]] = e.w
+		g.arcEID[pos[e.u]] = int32(id)
+		pos[e.u]++
+		g.adjncy[pos[e.v]] = e.u
+		g.adjwgt[pos[e.v]] = e.w
+		g.arcEID[pos[e.v]] = int32(id)
+		pos[e.v]++
+		g.totW += e.w
+	}
+	for _, w := range g.vwgt {
+		g.totVW += w
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and generators
+// whose inputs are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

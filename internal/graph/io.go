@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The METIS/Chaco graph file format:
+//
+//	% comment lines start with '%'
+//	<n> <m> [fmt]
+//	neighbors of vertex 1 (1-indexed), optionally interleaved with weights
+//	...
+//
+// fmt is a three-digit code: 1xx = vertex sizes (unsupported here),
+// x1x = vertex weights, xx1 = edge weights. We support 000, 001, 010, 011.
+
+// WriteMETIS writes g in METIS format. Edge weights are written whenever any
+// weight differs from 1; vertex weights likewise. Weights are rendered with
+// %g, so integral weights round-trip exactly.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hasVW, hasEW := false, false
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.VertexWeight(v) != 1 {
+			hasVW = true
+		}
+		for _, ew := range g.Weights(v) {
+			if ew != 1 {
+				hasEW = true
+			}
+		}
+	}
+	code := "00"
+	if hasVW {
+		code = "01"
+	}
+	if hasEW {
+		code += "1"
+	} else {
+		code += "0"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %s\n", g.NumVertices(), g.NumEdges(), code); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		parts := make([]string, 0, 2*g.Degree(v)+1)
+		if hasVW {
+			parts = append(parts, strconv.FormatFloat(g.VertexWeight(v), 'g', -1, 64))
+		}
+		nbrs := g.Neighbors(v)
+		wts := g.Weights(v)
+		for i, u := range nbrs {
+			parts = append(parts, strconv.Itoa(int(u)+1))
+			if hasEW {
+				parts = append(parts, strconv.FormatFloat(wts[i], 'g', -1, 64))
+			}
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a graph in METIS format. Both endpoints must list every
+// edge; the builder merges the two directed mentions (weights must agree, or
+// the merged weight doubles — we check and reject asymmetric listings).
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: malformed header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	}
+	hasVW, hasEW := false, false
+	if len(fields) >= 3 {
+		code := fields[2]
+		if len(code) != 3 || strings.Trim(code, "01") != "" || code[0] == '1' {
+			return nil, fmt.Errorf("graph: unsupported format code %q", code)
+		}
+		hasVW = code[1] == '1'
+		hasEW = code[2] == '1'
+	}
+
+	b := NewBuilder(n)
+	type half struct{ w float64 }
+	seen := make(map[[2]int32]half, m)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: missing adjacency line for vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasVW {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("graph: vertex %d: missing weight", v+1)
+			}
+			vw, err := strconv.ParseFloat(toks[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d: bad weight: %w", v+1, err)
+			}
+			b.SetVertexWeight(v, vw)
+			i = 1
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q: %w", v+1, toks[i], err)
+			}
+			i++
+			w := 1.0
+			if hasEW {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: vertex %d: neighbor %d missing edge weight", v+1, u)
+				}
+				w, err = strconv.ParseFloat(toks[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: vertex %d: bad edge weight: %w", v+1, err)
+				}
+				i++
+			}
+			a, c := int32(v), int32(u-1)
+			if a > c {
+				a, c = c, a
+			}
+			key := [2]int32{a, c}
+			if prev, ok := seen[key]; ok {
+				if prev.w != w {
+					return nil, fmt.Errorf("graph: edge {%d,%d} listed with weights %g and %g", a+1, c+1, prev.w, w)
+				}
+				delete(seen, key)
+				b.AddEdge(int(a), int(c), w)
+			} else {
+				seen[key] = half{w}
+			}
+		}
+	}
+	if len(seen) != 0 {
+		return nil, fmt.Errorf("graph: %d edges listed by only one endpoint", len(seen))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

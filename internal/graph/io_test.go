@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTripUnweighted(t *testing.T) {
+	g := Grid2D(4, 5)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "20 31 000\n") {
+		t.Fatalf("unexpected header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestMETISRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 10)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 0, 7)
+	b.SetVertexWeight(0, 3)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "5 5 011") {
+		t.Fatalf("expected format 011, got header %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestMETISCommentsAndErrors(t *testing.T) {
+	ok := "% a comment\n3 2\n2\n1 3\n2\n"
+	g, err := ReadMETIS(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got (%d,%d)", g.NumVertices(), g.NumEdges())
+	}
+
+	bad := []string{
+		"",                    // empty
+		"3\n",                 // short header
+		"3 2\n2\n1 3\n",       // missing line
+		"3 5\n2\n1 3\n2\n",    // wrong edge count
+		"3 2\n2\n1\n2\n",      // one-sided edge (2-3 missing from 3)
+		"2 1 00x\n2\n1\n",     // bad format code
+		"2 1 101\n2 1\n1 1\n", // vertex sizes unsupported
+		"2 1 001\n2 5\n1 6\n", // asymmetric weights
+		"2 1\nx\n1\n",         // bad neighbor token
+		"2 1 001\n2\n1 3\n",   // missing edge weight on one side
+		"2 1 010\n2\nz 1\n",   // bad vertex weight
+	}
+	for i, s := range bad {
+		if _, err := ReadMETIS(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.VertexWeight(v) != b.VertexWeight(v) {
+			t.Fatalf("vertex %d weight %g vs %g", v, a.VertexWeight(v), b.VertexWeight(v))
+		}
+	}
+	a.ForEachEdge(func(u, v int, w float64) {
+		w2, ok := b.EdgeWeight(u, v)
+		if !ok || w2 != w {
+			t.Fatalf("edge {%d,%d}: %g vs %g (present=%v)", u, v, w, w2, ok)
+		}
+	})
+}

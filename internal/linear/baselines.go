@@ -1,0 +1,64 @@
+package linear
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Random and Scattered are the remaining structure-blind global schemes of
+// the Chaco toolchain. Together with the linear scheme they bracket what any
+// edge-aware method must beat.
+
+// Random assigns vertices to parts uniformly at random, then repairs
+// balance by moving vertices from overfull to underfull parts.
+func Random(g *graph.Graph, k int, seed int64) (*partition.P, error) {
+	n := g.NumVertices()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("linear: k=%d out of range [1,%d]", k, n)
+	}
+	r := rng.New(seed)
+	assign := make([]int32, n)
+	for v := range assign {
+		assign[v] = int32(r.Intn(k))
+	}
+	p, err := partition.FromAssignment(g, assign, k)
+	if err != nil {
+		return nil, err
+	}
+	// Repair: move vertices from the heaviest part to the lightest until
+	// sizes are within one of each other.
+	for {
+		heavy, light := -1, -1
+		for a := 0; a < k; a++ {
+			if heavy < 0 || p.PartSize(a) > p.PartSize(heavy) {
+				heavy = a
+			}
+			if light < 0 || p.PartSize(a) < p.PartSize(light) {
+				light = a
+			}
+		}
+		if p.PartSize(heavy)-p.PartSize(light) <= 1 {
+			break
+		}
+		movers := p.VerticesOf(heavy)
+		p.Move(int(movers[r.Intn(len(movers))]), light)
+	}
+	return p, nil
+}
+
+// Scattered deals vertices round-robin over the parts (Chaco's "scattered"
+// scheme): perfectly balanced by count, maximally oblivious to locality.
+func Scattered(g *graph.Graph, k int) (*partition.P, error) {
+	n := g.NumVertices()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("linear: k=%d out of range [1,%d]", k, n)
+	}
+	assign := make([]int32, n)
+	for v := range assign {
+		assign[v] = int32(v % k)
+	}
+	return partition.FromAssignment(g, assign, k)
+}

@@ -1,0 +1,78 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRandomBalancedAndComplete(t *testing.T) {
+	g := graph.Grid2D(9, 9)
+	p, err := Random(g, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 4 || !p.Complete() {
+		t.Fatalf("parts=%d complete=%v", p.NumParts(), p.Complete())
+	}
+	// Sizes within one of each other after repair.
+	min, max := 81, 0
+	for a := 0; a < 4; a++ {
+		s := p.PartSize(a)
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("sizes spread %d..%d after repair", min, max)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	p1, _ := Random(g, 3, 42)
+	p2, _ := Random(g, 3, 42)
+	a1, a2 := p1.Assignment(), p2.Assignment()
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+}
+
+func TestScatteredRoundRobin(t *testing.T) {
+	g := graph.Path(10)
+	p, err := Scattered(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Part(0) != 0 || p.Part(1) != 1 || p.Part(2) != 2 || p.Part(3) != 0 {
+		t.Fatalf("not round-robin: %v", p.Assignment())
+	}
+	// Scattered on a path cuts almost every edge: the worst sane baseline.
+	if p.CrossingWeight() != 9 {
+		t.Fatalf("crossing = %g, want all 9 edges", p.CrossingWeight())
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := Random(g, 0, 1); err == nil {
+		t.Fatal("Random k=0 accepted")
+	}
+	if _, err := Random(g, 5, 1); err == nil {
+		t.Fatal("Random k>n accepted")
+	}
+	if _, err := Scattered(g, 0); err == nil {
+		t.Fatal("Scattered k=0 accepted")
+	}
+	if _, err := Scattered(g, 9); err == nil {
+		t.Fatal("Scattered k>n accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+)
+
+func TestBisectPath(t *testing.T) {
+	g := graph.Path(16)
+	p, err := Partition(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 4 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	// For a path, index order is optimal: 3 crossing edges.
+	if p.CrossingWeight() != 3 {
+		t.Fatalf("crossing = %g, want 3", p.CrossingWeight())
+	}
+	for a := 0; a < 4; a++ {
+		if p.PartSize(a) != 4 {
+			t.Fatalf("part %d size %d, want 4", a, p.PartSize(a))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearIgnoresStructureButKLFixesIt(t *testing.T) {
+	// Interleave two cliques so that index order is pessimal.
+	a, b := 8, 8
+	bld := graph.NewBuilder(a + b)
+	// Even indices = clique A, odd = clique B.
+	for i := 0; i < a; i++ {
+		for j := i + 1; j < a; j++ {
+			bld.AddEdge(2*i, 2*j, 1)
+		}
+	}
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			bld.AddEdge(2*i+1, 2*j+1, 1)
+		}
+	}
+	bld.AddEdge(0, 1, 1)
+	g := bld.MustBuild()
+
+	plain, err := Partition(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := Partition(g, 2, Options{KL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl.CrossingWeight() >= plain.CrossingWeight() {
+		t.Fatalf("KL (%g) did not beat plain linear (%g)", kl.CrossingWeight(), plain.CrossingWeight())
+	}
+	if kl.CrossingWeight() != 1 {
+		t.Fatalf("KL crossing = %g, want the single bridge", kl.CrossingWeight())
+	}
+}
+
+func TestOctasection(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	p, err := Partition(g, 8, Options{Arity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 8 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	for a := 0; a < 8; a++ {
+		if p.PartSize(a) != 8 {
+			t.Fatalf("part %d size %d, want 8", a, p.PartSize(a))
+		}
+	}
+}
+
+func TestOctKL32Parts(t *testing.T) {
+	g := graph.Grid2D(16, 16)
+	p, err := Partition(g, 32, Options{Arity: 8, KL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 32 {
+		t.Fatalf("NumParts = %d, want 32", p.NumParts())
+	}
+	if imb := objective.Imbalance(p); imb > 0.30 {
+		t.Fatalf("imbalance %.2f too large", imb)
+	}
+}
+
+func TestNonPowerOfTwoK(t *testing.T) {
+	g := graph.Cycle(30)
+	for _, k := range []int{3, 5, 7, 11} {
+		p, err := Partition(g, k, Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.NumParts() != k {
+			t.Fatalf("k=%d: NumParts = %d", k, p.NumParts())
+		}
+	}
+}
+
+func TestKEqualsNAndOne(t *testing.T) {
+	g := graph.Path(6)
+	p, err := Partition(g, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 6 {
+		t.Fatalf("k=n: NumParts = %d", p.NumParts())
+	}
+	p1, err := Partition(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumParts() != 1 || p1.CrossingWeight() != 0 {
+		t.Fatalf("k=1: parts=%d crossing=%g", p1.NumParts(), p1.CrossingWeight())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := Partition(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(g, 5, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := Partition(g, 2, Options{Arity: 1}); err == nil {
+		t.Fatal("arity 1 accepted")
+	}
+}
+
+func TestWeightedVerticesBalancedByWeight(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i+1 < 6; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	b.SetVertexWeight(0, 5) // vertex 0 as heavy as the rest combined
+	g := b.MustBuild()
+	p, err := Partition(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight split should be 5 vs 5, i.e. vertex 0 alone on one side.
+	if p.PartSize(p.Part(0)) != 1 {
+		t.Fatalf("heavy vertex not isolated; its part has %d vertices", p.PartSize(p.Part(0)))
+	}
+}

@@ -1,0 +1,15 @@
+package multilevel
+
+import (
+	"repro/internal/coarsen"
+	"repro/internal/graph"
+)
+
+// Level re-exports coarsen.Level; the coarsening ladder is shared with the
+// spectral package's multilevel RQI eigensolver.
+type Level = coarsen.Level
+
+// CoarsenHEM coarsens g by heavy-edge matching; see coarsen.HEM.
+func CoarsenHEM(g *graph.Graph, minSize int, seed int64) []Level {
+	return coarsen.HEM(g, minSize, seed)
+}

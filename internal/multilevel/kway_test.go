@@ -1,0 +1,65 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+)
+
+func TestKWayGrid(t *testing.T) {
+	g := graph.Grid2D(16, 16)
+	p, err := PartitionKWay(g, 32, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts() != 32 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWayQualityComparableToRecursive(t *testing.T) {
+	g := graph.RandomGeometric(250, 0.12, 5)
+	rec, err := Partition(g, 8, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kway, err := PartitionKWay(g, 8, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct k-way should land within 2x of the recursive cut (usually much
+	// closer); it is a comparison point, not a strict improvement.
+	if kway.CrossingWeight() > 2*rec.CrossingWeight() {
+		t.Fatalf("k-way cut %g far worse than recursive %g", kway.CrossingWeight(), rec.CrossingWeight())
+	}
+	if imb := objective.Imbalance(kway); imb > 0.6 {
+		t.Fatalf("k-way imbalance %.2f", imb)
+	}
+}
+
+func TestKWayArbitraryK(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	for _, k := range []int{3, 5, 27} {
+		p, err := PartitionKWay(g, k, Options{Seed: int64(k)})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.NumParts() != k {
+			t.Fatalf("k=%d: NumParts = %d", k, p.NumParts())
+		}
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := PartitionKWay(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PartitionKWay(g, 5, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}

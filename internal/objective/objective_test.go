@@ -1,0 +1,160 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func bisectedCycle(t *testing.T) *partition.P {
+	t.Helper()
+	g := graph.Cycle(8)
+	p, err := partition.FromAssignment(g, []int32{0, 0, 0, 0, 1, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHandValuesOnCycle(t *testing.T) {
+	p := bisectedCycle(t)
+	// Each side: cut = 2, internal unordered = 3 so W(A) = 6, assoc = 8.
+	if got := Cut.Evaluate(p); got != 4 {
+		t.Fatalf("Cut = %g, want 4", got)
+	}
+	if got := NCut.Evaluate(p); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Ncut = %g, want 0.5", got)
+	}
+	if got := MCut.Evaluate(p); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Mcut = %g, want 2/3", got)
+	}
+	c, n, m := EvaluateAll(p)
+	if c != 4 || math.Abs(n-0.5) > 1e-12 || math.Abs(m-2.0/3.0) > 1e-12 {
+		t.Fatalf("EvaluateAll = %g,%g,%g", c, n, m)
+	}
+}
+
+func TestMcutInfiniteOnSingletons(t *testing.T) {
+	g := graph.Path(3)
+	p, _ := partition.FromAssignment(g, []int32{0, 1, 2}, 3)
+	if !math.IsInf(MCut.Evaluate(p), 1) {
+		t.Fatal("Mcut of all-singleton partition should be +Inf")
+	}
+	sm := MCut.EvaluateSmoothed(p, 0.5)
+	if math.IsInf(sm, 1) || sm <= 0 {
+		t.Fatalf("smoothed Mcut = %g, want finite positive", sm)
+	}
+}
+
+func TestSmoothedConvergesToExact(t *testing.T) {
+	p := bisectedCycle(t)
+	exact := MCut.Evaluate(p)
+	sm := MCut.EvaluateSmoothed(p, 1e-9)
+	if math.Abs(exact-sm) > 1e-6 {
+		t.Fatalf("smoothed %g differs from exact %g", sm, exact)
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, o := range All {
+		got, err := Parse(o.String())
+		if err != nil || got != o {
+			t.Fatalf("Parse(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := Parse("modularity"); err == nil {
+		t.Fatal("expected error for unknown objective")
+	}
+	if Objective(99).String() == "" {
+		t.Fatal("String of invalid objective should be non-empty")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	g := graph.Path(4)
+	p, _ := partition.FromAssignment(g, []int32{0, 0, 0, 1}, 2)
+	// Heaviest part has 3 of 4 vertices; ideal is 2 → imbalance 0.5.
+	if got := Imbalance(p); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Imbalance = %g, want 0.5", got)
+	}
+	q, _ := partition.FromAssignment(g, []int32{0, 0, 1, 1}, 2)
+	if got := Imbalance(q); math.Abs(got) > 1e-12 {
+		t.Fatalf("Imbalance of balanced partition = %g, want 0", got)
+	}
+}
+
+// brute-force evaluation by definition, for the property test below.
+func bruteForce(g *graph.Graph, assign []int32, k int, o Objective) float64 {
+	cut := make([]float64, k)
+	internal := make([]float64, k)
+	g.ForEachEdge(func(u, v int, w float64) {
+		if assign[u] == assign[v] {
+			internal[assign[u]] += 2 * w // ordered pairs
+		} else {
+			cut[assign[u]] += w
+			cut[assign[v]] += w
+		}
+	})
+	present := make([]bool, k)
+	for _, a := range assign {
+		present[a] = true
+	}
+	total := 0.0
+	for a := 0; a < k; a++ {
+		if !present[a] {
+			continue
+		}
+		switch o {
+		case Cut:
+			total += cut[a]
+		case NCut:
+			if d := cut[a] + internal[a]; d > 0 {
+				total += cut[a] / d
+			}
+		case MCut:
+			if internal[a] > 0 {
+				total += cut[a] / internal[a]
+			} else if cut[a] > 0 {
+				return math.Inf(1)
+			}
+		}
+	}
+	return total
+}
+
+// Property: Evaluate agrees with a from-definition recomputation on random
+// graphs and random assignments, for all three objectives.
+func TestEvaluateMatchesDefinition(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(25)
+		g := graph.GNP(n, 0.25, seed)
+		k := 2 + r.Intn(4)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+		}
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			return false
+		}
+		for _, o := range All {
+			want := bruteForce(g, assign, k, o)
+			got := o.Evaluate(p)
+			if math.IsInf(want, 1) != math.IsInf(got, 1) {
+				return false
+			}
+			if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

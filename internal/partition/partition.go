@@ -1,0 +1,393 @@
+// Package partition maintains k-way partition state with O(deg) incremental
+// updates of the per-part statistics every objective in the paper needs:
+//
+//	cut(A, V-A)  — total weight of edges with exactly one endpoint in A
+//	W(A)         — paper's internal weight: sum over ordered pairs (u,v) in
+//	               A x A of w(u,v), i.e. twice the unordered internal weight
+//	|A|, vw(A)   — vertex count and vertex weight of A
+//
+// Parts are slots in [0, Capacity); slots may be empty, which is what lets
+// the fusion-fission metaheuristic vary the number of "atoms" during the
+// search without reallocating. NumParts reports the non-empty count.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Unassigned is the part id of a vertex that has not been placed yet.
+const Unassigned = -1
+
+// P is a mutable k-way partition of a fixed graph.
+type P struct {
+	g        *graph.Graph
+	part     []int32
+	size     []int32   // vertices per part
+	vw       []float64 // vertex weight per part
+	internal []float64 // unordered internal edge weight per part (W(A)/2)
+	cut      []float64 // cut(A, V-A) per part
+	assigned int
+	nonEmpty int
+	crossing float64 // total crossing edge weight, each edge counted once
+}
+
+// New returns a partition of g with the given part capacity and every vertex
+// unassigned.
+func New(g *graph.Graph, capacity int) *P {
+	if capacity <= 0 {
+		panic("partition: capacity must be positive")
+	}
+	p := &P{
+		g:        g,
+		part:     make([]int32, g.NumVertices()),
+		size:     make([]int32, capacity),
+		vw:       make([]float64, capacity),
+		internal: make([]float64, capacity),
+		cut:      make([]float64, capacity),
+	}
+	for i := range p.part {
+		p.part[i] = Unassigned
+	}
+	return p
+}
+
+// FromAssignment builds a fully-assigned partition from a part id per vertex.
+// Ids must lie in [0, capacity).
+func FromAssignment(g *graph.Graph, assign []int32, capacity int) (*P, error) {
+	if len(assign) != g.NumVertices() {
+		return nil, fmt.Errorf("partition: assignment length %d != vertex count %d", len(assign), g.NumVertices())
+	}
+	p := New(g, capacity)
+	for v, a := range assign {
+		if a < 0 || int(a) >= capacity {
+			return nil, fmt.Errorf("partition: vertex %d assigned to invalid part %d", v, a)
+		}
+		p.Assign(v, int(a))
+	}
+	return p, nil
+}
+
+// Graph returns the underlying graph.
+func (p *P) Graph() *graph.Graph { return p.g }
+
+// Capacity returns the number of part slots.
+func (p *P) Capacity() int { return len(p.size) }
+
+// NumParts returns the number of non-empty parts.
+func (p *P) NumParts() int { return p.nonEmpty }
+
+// NumAssigned returns how many vertices have been placed.
+func (p *P) NumAssigned() int { return p.assigned }
+
+// Complete reports whether every vertex is assigned.
+func (p *P) Complete() bool { return p.assigned == p.g.NumVertices() }
+
+// Part returns the part of v, or Unassigned.
+func (p *P) Part(v int) int { return int(p.part[v]) }
+
+// PartSize returns the number of vertices in part a.
+func (p *P) PartSize(a int) int { return int(p.size[a]) }
+
+// PartVertexWeight returns the total vertex weight of part a.
+func (p *P) PartVertexWeight(a int) float64 { return p.vw[a] }
+
+// PartCut returns cut(A, V-A) for part a.
+func (p *P) PartCut(a int) float64 { return p.cut[a] }
+
+// PartInternalOrdered returns the paper's W(A): the ordered-pair internal
+// weight, i.e. twice the sum of the weights of edges inside a.
+func (p *P) PartInternalOrdered(a int) float64 { return 2 * p.internal[a] }
+
+// CrossingWeight returns the total weight of crossing edges, each counted
+// once. The paper's Cut objective equals exactly twice this value.
+func (p *P) CrossingWeight() float64 { return p.crossing }
+
+// Assign places an unassigned vertex v into part a.
+func (p *P) Assign(v, a int) {
+	if p.part[v] != Unassigned {
+		panic(fmt.Sprintf("partition: vertex %d already assigned", v))
+	}
+	p.part[v] = int32(a)
+	if p.size[a] == 0 {
+		p.nonEmpty++
+	}
+	p.size[a]++
+	p.vw[a] += p.g.VertexWeight(v)
+	p.assigned++
+	nbrs := p.g.Neighbors(v)
+	wts := p.g.Weights(v)
+	for i, u := range nbrs {
+		b := p.part[u]
+		if b == Unassigned {
+			continue
+		}
+		w := wts[i]
+		if int(b) == a {
+			p.internal[a] += w
+		} else {
+			p.cut[a] += w
+			p.cut[b] += w
+			p.crossing += w
+		}
+	}
+}
+
+// Move transfers an assigned vertex v to part `to`, updating all statistics
+// in O(deg(v)).
+func (p *P) Move(v, to int) {
+	from := int(p.part[v])
+	if from == Unassigned {
+		panic(fmt.Sprintf("partition: moving unassigned vertex %d", v))
+	}
+	if from == to {
+		return
+	}
+	nbrs := p.g.Neighbors(v)
+	wts := p.g.Weights(v)
+	for i, u := range nbrs {
+		b := int(p.part[u])
+		w := wts[i]
+		switch b {
+		case Unassigned:
+		case from:
+			// Internal to `from` becomes crossing.
+			p.internal[from] -= w
+			p.cut[from] += w
+			p.cut[to] += w
+			p.crossing += w
+		case to:
+			// Crossing becomes internal to `to`.
+			p.cut[from] -= w
+			p.cut[to] -= w
+			p.crossing -= w
+			p.internal[to] += w
+		default:
+			// Crossing either way; only the v-side part changes.
+			p.cut[from] -= w
+			p.cut[to] += w
+		}
+	}
+	p.part[v] = int32(to)
+	p.size[from]--
+	if p.size[from] == 0 {
+		p.nonEmpty--
+	}
+	if p.size[to] == 0 {
+		p.nonEmpty++
+	}
+	p.size[to]++
+	vw := p.g.VertexWeight(v)
+	p.vw[from] -= vw
+	p.vw[to] += vw
+}
+
+// MergeParts moves every vertex of part b into part a. No-op when a == b.
+func (p *P) MergeParts(a, b int) {
+	if a == b || p.size[b] == 0 {
+		return
+	}
+	for v := range p.part {
+		if int(p.part[v]) == b {
+			p.Move(v, a)
+		}
+	}
+}
+
+// EmptySlot returns the id of an empty part slot, or -1 if all are occupied.
+func (p *P) EmptySlot() int {
+	for a := range p.size {
+		if p.size[a] == 0 {
+			return a
+		}
+	}
+	return -1
+}
+
+// NonEmptyParts returns the ids of all non-empty parts in increasing order.
+func (p *P) NonEmptyParts() []int {
+	out := make([]int, 0, p.nonEmpty)
+	for a := range p.size {
+		if p.size[a] > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// VerticesOf returns the vertices currently in part a.
+func (p *P) VerticesOf(a int) []int32 {
+	out := make([]int32, 0, p.size[a])
+	for v, pa := range p.part {
+		if int(pa) == a {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// ConnectionToPart returns the total weight of edges from v to vertices of
+// part a (excluding v itself).
+func (p *P) ConnectionToPart(v, a int) float64 {
+	total := 0.0
+	nbrs := p.g.Neighbors(v)
+	wts := p.g.Weights(v)
+	for i, u := range nbrs {
+		if int(p.part[u]) == a {
+			total += wts[i]
+		}
+	}
+	return total
+}
+
+// ConnectedParts returns, for part a, the map of neighboring part id to the
+// total weight of edges between a and that part.
+func (p *P) ConnectedParts(a int) map[int]float64 {
+	out := make(map[int]float64)
+	for v, pa := range p.part {
+		if int(pa) != a {
+			continue
+		}
+		nbrs := p.g.Neighbors(v)
+		wts := p.g.Weights(v)
+		for i, u := range nbrs {
+			if b := int(p.part[u]); b != a && b != Unassigned {
+				out[b] += wts[i]
+			}
+		}
+	}
+	return out
+}
+
+// Assignment returns a copy of the per-vertex part ids.
+func (p *P) Assignment() []int32 {
+	return append([]int32(nil), p.part...)
+}
+
+// Clone returns an independent deep copy.
+func (p *P) Clone() *P {
+	q := &P{
+		g:        p.g,
+		part:     append([]int32(nil), p.part...),
+		size:     append([]int32(nil), p.size...),
+		vw:       append([]float64(nil), p.vw...),
+		internal: append([]float64(nil), p.internal...),
+		cut:      append([]float64(nil), p.cut...),
+		assigned: p.assigned,
+		nonEmpty: p.nonEmpty,
+		crossing: p.crossing,
+	}
+	return q
+}
+
+// CopyFrom overwrites p's state with q's. Both must share the same graph and
+// capacity; this is the allocation-free restore used by search loops.
+func (p *P) CopyFrom(q *P) {
+	if p.g != q.g || len(p.size) != len(q.size) {
+		panic("partition: CopyFrom with incompatible partition")
+	}
+	copy(p.part, q.part)
+	copy(p.size, q.size)
+	copy(p.vw, q.vw)
+	copy(p.internal, q.internal)
+	copy(p.cut, q.cut)
+	p.assigned = q.assigned
+	p.nonEmpty = q.nonEmpty
+	p.crossing = q.crossing
+}
+
+// Compact renumbers non-empty parts to 0..NumParts-1 and returns the final
+// assignment. The partition itself is left untouched.
+func (p *P) Compact() []int32 {
+	remap := make(map[int32]int32, p.nonEmpty)
+	next := int32(0)
+	out := make([]int32, len(p.part))
+	for v, a := range p.part {
+		if a == Unassigned {
+			out[v] = Unassigned
+			continue
+		}
+		id, ok := remap[a]
+		if !ok {
+			id = next
+			remap[a] = id
+			next++
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// Validate recomputes every statistic from scratch and returns an error on
+// the first mismatch. Used by tests and enabled invariant checks.
+func (p *P) Validate() error {
+	n := p.g.NumVertices()
+	cap_ := len(p.size)
+	size := make([]int32, cap_)
+	vw := make([]float64, cap_)
+	internal := make([]float64, cap_)
+	cut := make([]float64, cap_)
+	crossing := 0.0
+	assigned := 0
+	for v := 0; v < n; v++ {
+		a := p.part[v]
+		if a == Unassigned {
+			continue
+		}
+		if int(a) >= cap_ {
+			return fmt.Errorf("partition: vertex %d in out-of-range part %d", v, a)
+		}
+		assigned++
+		size[a]++
+		vw[a] += p.g.VertexWeight(v)
+	}
+	p.g.ForEachEdge(func(u, v int, w float64) {
+		a, b := p.part[u], p.part[v]
+		if a == Unassigned || b == Unassigned {
+			return
+		}
+		if a == b {
+			internal[a] += w
+		} else {
+			cut[a] += w
+			cut[b] += w
+			crossing += w
+		}
+	})
+	nonEmpty := 0
+	for a := 0; a < cap_; a++ {
+		if size[a] > 0 {
+			nonEmpty++
+		}
+		if size[a] != p.size[a] {
+			return fmt.Errorf("partition: part %d size %d, tracked %d", a, size[a], p.size[a])
+		}
+		if !approxEq(vw[a], p.vw[a]) {
+			return fmt.Errorf("partition: part %d vertex weight %g, tracked %g", a, vw[a], p.vw[a])
+		}
+		if !approxEq(internal[a], p.internal[a]) {
+			return fmt.Errorf("partition: part %d internal %g, tracked %g", a, internal[a], p.internal[a])
+		}
+		if !approxEq(cut[a], p.cut[a]) {
+			return fmt.Errorf("partition: part %d cut %g, tracked %g", a, cut[a], p.cut[a])
+		}
+	}
+	if assigned != p.assigned {
+		return fmt.Errorf("partition: assigned %d, tracked %d", assigned, p.assigned)
+	}
+	if nonEmpty != p.nonEmpty {
+		return fmt.Errorf("partition: nonEmpty %d, tracked %d", nonEmpty, p.nonEmpty)
+	}
+	if !approxEq(crossing, p.crossing) {
+		return fmt.Errorf("partition: crossing %g, tracked %g", crossing, p.crossing)
+	}
+	return nil
+}
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-6*scale
+}

@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func mustFrom(t *testing.T, g *graph.Graph, assign []int32, k int) *P {
+	t.Helper()
+	p, err := FromAssignment(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBisectionStats(t *testing.T) {
+	// Path 0-1-2-3 split as {0,1} {2,3}: one crossing edge.
+	g := graph.Path(4)
+	p := mustFrom(t, g, []int32{0, 0, 1, 1}, 2)
+	if p.NumParts() != 2 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	if p.CrossingWeight() != 1 {
+		t.Fatalf("crossing = %g, want 1", p.CrossingWeight())
+	}
+	if p.PartCut(0) != 1 || p.PartCut(1) != 1 {
+		t.Fatalf("cuts = %g,%g", p.PartCut(0), p.PartCut(1))
+	}
+	if p.PartInternalOrdered(0) != 2 || p.PartInternalOrdered(1) != 2 {
+		t.Fatalf("W(A) = %g,%g, want 2,2", p.PartInternalOrdered(0), p.PartInternalOrdered(1))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveUpdatesStats(t *testing.T) {
+	g := graph.Cycle(6)
+	p := mustFrom(t, g, []int32{0, 0, 0, 1, 1, 1}, 2)
+	if p.CrossingWeight() != 2 {
+		t.Fatalf("crossing = %g, want 2", p.CrossingWeight())
+	}
+	p.Move(2, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PartSize(0) != 2 || p.PartSize(1) != 4 {
+		t.Fatalf("sizes = %d,%d", p.PartSize(0), p.PartSize(1))
+	}
+	if p.CrossingWeight() != 2 {
+		t.Fatalf("crossing after move = %g, want 2", p.CrossingWeight())
+	}
+	// Move back restores.
+	p.Move(2, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveEmptiesAndRevivesParts(t *testing.T) {
+	g := graph.Path(3)
+	p := mustFrom(t, g, []int32{0, 1, 2}, 4)
+	if p.NumParts() != 3 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	p.Move(1, 0) // part 1 now empty
+	if p.NumParts() != 2 {
+		t.Fatalf("NumParts after emptying = %d", p.NumParts())
+	}
+	if p.EmptySlot() == -1 {
+		t.Fatal("expected an empty slot")
+	}
+	p.Move(2, 3) // occupy slot 3
+	if p.NumParts() != 2 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeParts(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	assign := make([]int32, 16)
+	for v := range assign {
+		assign[v] = int32(v % 4)
+	}
+	p := mustFrom(t, g, assign, 4)
+	p.MergeParts(0, 3)
+	if p.NumParts() != 3 {
+		t.Fatalf("NumParts = %d", p.NumParts())
+	}
+	if p.PartSize(3) != 0 || p.PartSize(0) != 8 {
+		t.Fatalf("sizes after merge: %d, %d", p.PartSize(3), p.PartSize(0))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectionAndConnectedParts(t *testing.T) {
+	g := graph.Path(5) // 0-1-2-3-4
+	p := mustFrom(t, g, []int32{0, 0, 1, 2, 2}, 3)
+	if c := p.ConnectionToPart(2, 0); c != 1 {
+		t.Fatalf("ConnectionToPart(2,0) = %g", c)
+	}
+	if c := p.ConnectionToPart(2, 2); c != 1 {
+		t.Fatalf("ConnectionToPart(2,2) = %g", c)
+	}
+	cp := p.ConnectedParts(1)
+	if len(cp) != 2 || cp[0] != 1 || cp[2] != 1 {
+		t.Fatalf("ConnectedParts(1) = %v", cp)
+	}
+}
+
+func TestCloneAndCopyFromIndependence(t *testing.T) {
+	g := graph.Cycle(8)
+	p := mustFrom(t, g, []int32{0, 0, 0, 0, 1, 1, 1, 1}, 2)
+	q := p.Clone()
+	p.Move(0, 1)
+	if q.Part(0) != 0 {
+		t.Fatal("clone mutated by original")
+	}
+	q.CopyFrom(p)
+	if q.Part(0) != 1 {
+		t.Fatal("CopyFrom did not copy")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	g := graph.Path(4)
+	p := mustFrom(t, g, []int32{5, 5, 9, 2}, 12)
+	c := p.Compact()
+	if c[0] != 0 || c[1] != 0 || c[2] != 1 || c[3] != 2 {
+		t.Fatalf("Compact = %v", c)
+	}
+}
+
+func TestVerticesOf(t *testing.T) {
+	g := graph.Path(5)
+	p := mustFrom(t, g, []int32{1, 0, 1, 0, 1}, 2)
+	vs := p.VerticesOf(1)
+	if len(vs) != 3 || vs[0] != 0 || vs[1] != 2 || vs[2] != 4 {
+		t.Fatalf("VerticesOf(1) = %v", vs)
+	}
+}
+
+// Property: an arbitrary sequence of random moves keeps the incrementally
+// tracked statistics identical to a from-scratch recomputation.
+func TestRandomMovesStayConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(40)
+		g := graph.GNP(n, 0.15, seed+1)
+		k := 2 + r.Intn(5)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+		}
+		p, err := FromAssignment(g, assign, k)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 200; step++ {
+			p.Move(r.Intn(n), r.Intn(k))
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sum over parts of cut(A) equals exactly twice the crossing
+// weight, and internal+crossing equals the graph's total edge weight.
+func TestCutIdentities(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(30)
+		g := graph.RandomGeometric(n, 0.4, seed)
+		k := 2 + r.Intn(4)
+		p := New(g, k)
+		for v := 0; v < n; v++ {
+			p.Assign(v, r.Intn(k))
+		}
+		sumCut, sumInt := 0.0, 0.0
+		for a := 0; a < k; a++ {
+			sumCut += p.PartCut(a)
+			sumInt += p.PartInternalOrdered(a) / 2
+		}
+		if math.Abs(sumCut-2*p.CrossingWeight()) > 1e-9 {
+			return false
+		}
+		return math.Abs(sumInt+p.CrossingWeight()-g.TotalEdgeWeight()) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := graph.Path(4)
+	p := mustFrom(t, g, []int32{0, 0, 1, 1}, 2)
+	p.part[0] = 1 // corrupt behind the API's back
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate missed corruption")
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := FromAssignment(g, []int32{0, 1}, 2); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := FromAssignment(g, []int32{0, 1, 5}, 2); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+	if _, err := FromAssignment(g, []int32{0, -1, 1}, 2); err == nil {
+		t.Fatal("negative part accepted")
+	}
+}

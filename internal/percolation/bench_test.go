@@ -1,0 +1,25 @@
+package percolation
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkPartition32(b *testing.B) {
+	g := graph.RandomGeometric(762, 0.055, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, 32, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBisect(b *testing.B) {
+	g := graph.Grid2D(28, 28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bisect(g, 0, g.NumVertices()-1)
+	}
+}

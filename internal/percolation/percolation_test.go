@@ -1,0 +1,165 @@
+package percolation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/rng"
+)
+
+func TestPartitionCoversEverything(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(60)
+		g := graph.RandomGeometric(n, 0.25, seed)
+		k := 2 + r.Intn(5)
+		p, err := Partition(g, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if !p.Complete() || p.NumParts() != k {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedsKeepTheirColor(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	seeds := []int{0, 7, 56, 63}
+	p, err := Partition(g, 4, Options{Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		if p.Part(s) != i {
+			t.Fatalf("seed %d has color %d, want %d", s, p.Part(s), i)
+		}
+	}
+}
+
+func TestRegionsAreLocal(t *testing.T) {
+	// On a path with seeds at the two ends, percolation must produce the
+	// two contiguous halves (possibly off by a bit in the middle).
+	g := graph.Path(20)
+	p, err := Partition(g, 2, Options{Seeds: []int{0, 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Part(1) != 0 || p.Part(18) != 1 {
+		t.Fatalf("immediate neighbors not claimed by nearest seed")
+	}
+	if p.CrossingWeight() != 1 {
+		t.Fatalf("crossing = %g, want 1", p.CrossingWeight())
+	}
+}
+
+func TestHeavyCorridorAttracts(t *testing.T) {
+	// Star of two hubs: a chain 0-1-2-3-4 where edge 1-2 is heavy and 2-3
+	// is light; seeding 0 and 4, vertex 2 must join the side of the heavy
+	// edge (the strong liquid wins).
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 10)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.MustBuild()
+	p, err := Partition(g, 2, Options{Seeds: []int{0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Part(2) != p.Part(0) {
+		t.Fatalf("vertex 2 joined the weak side")
+	}
+}
+
+func TestDumbbellQuality(t *testing.T) {
+	g := graph.Dumbbell(12, 12, 1)
+	p, err := Partition(g, 2, Options{Seeds: []int{0, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossingWeight() != 1 {
+		t.Fatalf("crossing = %g, want the bridge", p.CrossingWeight())
+	}
+}
+
+func TestAutoSeedsDeterministic(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	p1, err := Partition(g, 5, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Partition(g, 5, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := p1.Assignment(), p2.Assignment()
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatal("percolation not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Partition(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(g, 6, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := Partition(g, 2, Options{Seeds: []int{1}}); err == nil {
+		t.Fatal("wrong seed count accepted")
+	}
+	if _, err := Partition(g, 2, Options{Seeds: []int{1, 1}}); err == nil {
+		t.Fatal("duplicate seeds accepted")
+	}
+	if _, err := Partition(g, 2, Options{Seeds: []int{1, 9}}); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestBisectSplitsBothSides(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	side := Bisect(g, 0, 35)
+	c0, c1 := 0, 0
+	for _, s := range side {
+		if s == 0 {
+			c0++
+		} else {
+			c1++
+		}
+	}
+	if c0 == 0 || c1 == 0 {
+		t.Fatalf("degenerate bisect: %d/%d", c0, c1)
+	}
+	if side[0] != 0 || side[35] != 1 {
+		t.Fatal("seeds on wrong sides")
+	}
+}
+
+func TestBisectDegenerate(t *testing.T) {
+	g := graph.Path(2)
+	side := Bisect(g, 0, 0) // same seed: everything side 0
+	if side[0] != 0 || side[1] != 0 {
+		t.Fatal("same-seed bisect should be all zero")
+	}
+}
+
+func TestBalanceReasonableOnGrid(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	p, err := Partition(g, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := objective.Imbalance(p); imb > 1.0 {
+		t.Fatalf("percolation imbalance %.2f absurdly large", imb)
+	}
+}

@@ -1,0 +1,87 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed, different streams")
+		}
+	}
+	if New(1).Int63() == New(2).Int63() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestZeroSeedWellDefined(t *testing.T) {
+	a, b := New(0), New(0)
+	if a.Int63() != b.Int63() {
+		t.Fatal("zero seed not reproducible")
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	r := New(7)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		c := WeightedChoice(r, weights)
+		if c < 0 || c > 2 {
+			t.Fatalf("choice out of range: %d", c)
+		}
+		counts[c]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	p0 := float64(counts[0]) / trials
+	if math.Abs(p0-0.25) > 0.02 {
+		t.Fatalf("P(0) = %.3f, want 0.25", p0)
+	}
+}
+
+func TestWeightedChoiceEdgeCases(t *testing.T) {
+	r := New(1)
+	if WeightedChoice(r, nil) != -1 {
+		t.Fatal("empty weights should return -1")
+	}
+	if WeightedChoice(r, []float64{0, 0}) != -1 {
+		t.Fatal("all-zero weights should return -1")
+	}
+	if WeightedChoice(r, []float64{-5, 2}) != 1 {
+		t.Fatal("negative weights should be skipped")
+	}
+	if WeightedChoice(r, []float64{7}) != 0 {
+		t.Fatal("single positive weight should be chosen")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	p := make([]int, 50)
+	Perm(r, p)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(5)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick never chose some element: %v", seen)
+	}
+}
