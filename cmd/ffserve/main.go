@@ -1,0 +1,91 @@
+// Command ffserve runs the partition-as-a-service HTTP API.
+//
+// Usage:
+//
+//	ffserve -addr :8080 -workers 8 -cache 512
+//
+// Endpoints:
+//
+//	POST   /v1/partition   partition an inline graph (METIS text or edge list)
+//	GET    /v1/jobs/{id}   poll an asynchronous job
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/methods     list methods and objectives
+//	GET    /healthz        liveness and statistics
+//
+// Example request:
+//
+//	curl -s localhost:8080/v1/partition -d '{
+//	  "graph": {"n": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]},
+//	  "k": 2, "method": "fusion-fission", "seed": 7, "budget": "200ms"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent partition computations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "max jobs waiting for a worker before 503")
+		cacheSize = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
+		maxBudget = flag.Duration("max-budget", 30*time.Second, "clamp on per-request metaheuristic budget")
+		grace     = flag.Duration("grace", 10*time.Second, "slack added to a request's budget to form its job deadline")
+		jobTTL    = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		MaxBudget:  *maxBudget,
+		Grace:      *grace,
+		JobTTL:     *jobTTL,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ffserve listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("ffserve: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ffserve: shutdown: %v", err)
+		}
+		srv.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffserve:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@
 package fusionfission
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -117,64 +118,133 @@ func ExtensionMethods() []string {
 	return out
 }
 
-// Options selects a method and its parameters.
+// MethodInfo describes one available partitioning method.
+type MethodInfo struct {
+	// ID is the stable kebab-case identifier accepted by Options.Method.
+	ID string `json:"id"`
+	// Label is the human-readable name (the paper's Table 1 row label for
+	// non-extension methods).
+	Label string `json:"label"`
+	// Extension marks methods beyond the paper's Table 1.
+	Extension bool `json:"extension"`
+	// Metaheuristic marks methods that target a specific objective and
+	// accept a time budget; the rest are criterion-blind and deterministic.
+	Metaheuristic bool `json:"metaheuristic"`
+}
+
+// MethodInfos returns metadata for every method, Table 1 rows first, both
+// groups sorted by ID.
+func MethodInfos() []MethodInfo {
+	var out []MethodInfo
+	for _, group := range []struct {
+		ids       map[string]string
+		extension bool
+	}{{methodIDs, false}, {extensionIDs, true}} {
+		start := len(out)
+		for id, label := range group.ids {
+			meta := false
+			if spec, err := experiments.MethodByName(label); err == nil {
+				meta = spec.Metaheuristic
+			}
+			out = append(out, MethodInfo{ID: id, Label: label, Extension: group.extension, Metaheuristic: meta})
+		}
+		sort.Slice(out[start:], func(i, j int) bool { return out[start+i].ID < out[start+j].ID })
+	}
+	return out
+}
+
+// ValidMethod reports whether id names a known method.
+func ValidMethod(id string) bool {
+	_, ok := methodIDs[id]
+	if !ok {
+		_, ok = extensionIDs[id]
+	}
+	return ok
+}
+
+// Options selects a method and its parameters. The zero value of every
+// field is a valid "use the default" request, and the struct round-trips
+// through JSON (Budget marshals as integer nanoseconds, Go's encoding of
+// time.Duration), so Options can travel over the wire unchanged.
 type Options struct {
 	// K is the number of parts (required, >= 1; metaheuristics need >= 2).
-	K int
+	K int `json:"k"`
 	// Method is a Methods() identifier (default "fusion-fission").
-	Method string
+	Method string `json:"method,omitempty"`
 	// Objective is "mcut" (default), "cut" or "ncut"; it drives the
 	// metaheuristics and is ignored by the criterion-blind classical
 	// methods.
-	Objective string
+	Objective string `json:"objective,omitempty"`
 	// Seed makes stochastic methods reproducible.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Budget caps metaheuristic wall-clock time (default 2s).
-	Budget time.Duration
+	Budget time.Duration `json:"budget,omitempty"`
 	// MaxSteps optionally caps metaheuristic steps for deterministic work
 	// amounts (benchmarks).
-	MaxSteps int
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// normalized fills defaults and resolves the method and objective, returning
+// the completed options alongside the experiments row label.
+func (o Options) normalized() (Options, string, objective.Objective, error) {
+	if o.Method == "" {
+		o.Method = "fusion-fission"
+	}
+	rowName, ok := methodIDs[o.Method]
+	if !ok {
+		rowName, ok = extensionIDs[o.Method]
+	}
+	if !ok {
+		return o, "", 0, fmt.Errorf("fusionfission: unknown method %q (see Methods() and ExtensionMethods())", o.Method)
+	}
+	if o.Objective == "" {
+		o.Objective = "mcut"
+	}
+	obj, err := objective.Parse(o.Objective)
+	if err != nil {
+		return o, "", 0, err
+	}
+	if o.Budget == 0 {
+		o.Budget = 2 * time.Second
+	}
+	return o, rowName, obj, nil
+}
+
+// Normalize returns opt with all defaults filled in (method, objective,
+// budget), or an error if the method or objective is unknown. Callers that
+// key caches on Options should normalize first so equivalent requests
+// collide.
+func Normalize(opt Options) (Options, error) {
+	o, _, _, err := opt.normalized()
+	return o, err
 }
 
 // Result reports a computed partition under all three paper objectives.
+// Like Options it round-trips through JSON.
 type Result struct {
 	// Parts assigns each vertex a part id in [0, NumParts).
-	Parts []int32
+	Parts []int32 `json:"parts"`
 	// NumParts is the number of non-empty parts.
-	NumParts int
+	NumParts int `json:"num_parts"`
 	// Cut, Ncut and Mcut are the paper's objectives (section 1) evaluated
 	// on the partition. Cut follows the paper's convention of counting
 	// each crossing edge from both sides.
-	Cut, Ncut, Mcut float64
+	Cut  float64 `json:"cut"`
+	Ncut float64 `json:"ncut"`
+	Mcut float64 `json:"mcut"`
 	// Imbalance is max part weight over the ideal share, minus 1.
-	Imbalance float64
-	// Elapsed is the method runtime.
-	Elapsed time.Duration
+	Imbalance float64 `json:"imbalance"`
+	// Elapsed is the method runtime (nanoseconds in JSON).
+	Elapsed time.Duration `json:"elapsed"`
 	// Method echoes the method identifier used.
-	Method string
+	Method string `json:"method"`
 }
 
 // Partition cuts g into opt.K parts with the selected method.
 func Partition(g *Graph, opt Options) (*Result, error) {
-	if opt.Method == "" {
-		opt.Method = "fusion-fission"
-	}
-	rowName, ok := methodIDs[opt.Method]
-	if !ok {
-		rowName, ok = extensionIDs[opt.Method]
-	}
-	if !ok {
-		return nil, fmt.Errorf("fusionfission: unknown method %q (see Methods() and ExtensionMethods())", opt.Method)
-	}
-	if opt.Objective == "" {
-		opt.Objective = "mcut"
-	}
-	obj, err := objective.Parse(opt.Objective)
+	opt, rowName, obj, err := opt.normalized()
 	if err != nil {
 		return nil, err
-	}
-	if opt.Budget == 0 {
-		opt.Budget = 2 * time.Second
 	}
 	spec, err := experiments.MethodByName(rowName)
 	if err != nil {
@@ -186,6 +256,48 @@ func Partition(g *Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return resultFrom(p, opt.Method, time.Since(start)), nil
+}
+
+// PartitionContext is Partition bounded by a context: the method's time
+// budget is clamped to the context deadline, and if the context is cancelled
+// before the method returns, PartitionContext returns ctx.Err() immediately.
+// The underlying run cannot be interrupted mid-flight: an abandoned
+// metaheuristic exits once its (clamped) budget expires, but the
+// criterion-blind classical methods ignore the budget entirely and keep
+// their goroutine until they complete. Callers that hand untrusted input to
+// classical methods should bound the input size rather than rely on the
+// deadline to stop the computation.
+func PartitionContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	opt, _, _, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(deadline); remaining < opt.Budget {
+			if remaining <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+			opt.Budget = remaining
+		}
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Partition(g, opt)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func resultFrom(p *partition.P, method string, elapsed time.Duration) *Result {

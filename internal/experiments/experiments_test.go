@@ -24,6 +24,9 @@ func smallATC(t *testing.T) *graph.Graph {
 }
 
 func TestTable1AllRowsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all seventeen Table 1 methods; skipped in -short")
+	}
 	g := smallATC(t)
 	rows := Table1(g, Table1Options{K: 8, Seed: 1, MetaBudget: 150 * time.Millisecond})
 	if len(rows) != 17 {
@@ -50,6 +53,9 @@ func TestTable1AllRowsRun(t *testing.T) {
 }
 
 func TestTable1ShapeMetaheuristicsWinMcut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second metaheuristic budgets; skipped in -short")
+	}
 	// The paper's headline: on Mcut, the metaheuristics (FF first) beat the
 	// spectral/multilevel/linear family. Give the metaheuristics a modest
 	// budget and check the ordering that defines the paper's conclusion.
@@ -85,6 +91,9 @@ func TestMethodByName(t *testing.T) {
 }
 
 func TestFigure1SeriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three metaheuristic traces; skipped in -short")
+	}
 	g := smallATC(t)
 	res, err := Figure1(g, Figure1Options{K: 8, Seed: 2, Budget: 400 * time.Millisecond})
 	if err != nil {
@@ -137,6 +146,9 @@ func TestSeriesAt(t *testing.T) {
 }
 
 func TestObjectiveColumnsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second metaheuristic budgets; skipped in -short")
+	}
 	// Metaheuristic rows must target each column's objective: the Cut cell
 	// of an Mcut-driven run would be systematically worse. Verify the Cut
 	// column of FF is within range of the best classical Cut.

@@ -10,6 +10,9 @@ import (
 )
 
 func TestRunVarianceAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three metaheuristics over four seeds; skipped in -short")
+	}
 	g := smallATC(t)
 	rows, err := RunVariance(g, VarianceOptions{
 		K:         6,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -69,6 +70,10 @@ func WriteMETIS(w io.Writer, g *Graph) error {
 // ReadMETIS parses a graph in METIS format. Both endpoints must list every
 // edge; the builder merges the two directed mentions (weights must agree, or
 // the merged weight doubles — we check and reject asymmetric listings).
+//
+// The header is not trusted: all O(n) allocation is deferred until n
+// adjacency lines have actually been read, so a tiny input claiming a huge
+// vertex count fails fast instead of exhausting memory.
 func ReadMETIS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -88,6 +93,13 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: bad edge count: %w", err)
 	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative header counts %d %d", n, m)
+	}
+	const maxID = 1<<31 - 1 // vertex and edge ids are int32 in CSR form
+	if n > maxID || m > maxID/2 {
+		return nil, fmt.Errorf("graph: header counts %d %d exceed implementation limits", n, m)
+	}
 	hasVW, hasEW := false, false
 	if len(fields) >= 3 {
 		code := fields[2]
@@ -98,11 +110,21 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		hasEW = code[2] == '1'
 	}
 
-	b := NewBuilder(n)
-	type half struct{ w float64 }
-	seen := make(map[[2]int32]half, m)
+	// Each undirected edge must be mentioned exactly twice, once per
+	// endpoint; mention tracks which endpoint spoke first so a vertex
+	// repeating its own mention cannot masquerade as the confirmation.
+	type mention struct {
+		w         float64
+		from      int32
+		confirmed bool
+	}
+	seen := make(map[[2]int32]mention)
+	var vwgts []float64 // grown per line read, so memory tracks input size
+	if hasVW {
+		vwgts = make([]float64, 0)
+	}
 	for v := 0; v < n; v++ {
-		line, err := nextDataLine(sc)
+		line, err := nextBodyLine(sc)
 		if err != nil {
 			return nil, fmt.Errorf("graph: missing adjacency line for vertex %d: %w", v+1, err)
 		}
@@ -116,13 +138,19 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: vertex %d: bad weight: %w", v+1, err)
 			}
-			b.SetVertexWeight(v, vw)
+			if !(vw > 0) || math.IsInf(vw, 1) {
+				return nil, fmt.Errorf("graph: vertex %d: weight %g not positive and finite", v+1, vw)
+			}
+			vwgts = append(vwgts, vw)
 			i = 1
 		}
 		for i < len(toks) {
 			u, err := strconv.Atoi(toks[i])
 			if err != nil {
 				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q: %w", v+1, toks[i], err)
+			}
+			if u < 1 || u > n {
+				return nil, fmt.Errorf("graph: vertex %d: neighbor %d out of range [1,%d]", v+1, u, n)
 			}
 			i++
 			w := 1.0
@@ -134,6 +162,9 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 				if err != nil {
 					return nil, fmt.Errorf("graph: vertex %d: bad edge weight: %w", v+1, err)
 				}
+				if !(w > 0) || math.IsInf(w, 1) {
+					return nil, fmt.Errorf("graph: vertex %d: edge weight %g not positive and finite", v+1, w)
+				}
 				i++
 			}
 			a, c := int32(v), int32(u-1)
@@ -141,19 +172,31 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 				a, c = c, a
 			}
 			key := [2]int32{a, c}
-			if prev, ok := seen[key]; ok {
-				if prev.w != w {
-					return nil, fmt.Errorf("graph: edge {%d,%d} listed with weights %g and %g", a+1, c+1, prev.w, w)
-				}
-				delete(seen, key)
-				b.AddEdge(int(a), int(c), w)
-			} else {
-				seen[key] = half{w}
+			switch prev, ok := seen[key]; {
+			case !ok:
+				seen[key] = mention{w: w, from: int32(v)}
+			case prev.confirmed:
+				return nil, fmt.Errorf("graph: edge {%d,%d} listed more than twice", a+1, c+1)
+			case prev.from == int32(v):
+				return nil, fmt.Errorf("graph: vertex %d lists neighbor %d twice", v+1, u)
+			case prev.w != w:
+				return nil, fmt.Errorf("graph: edge {%d,%d} listed with weights %g and %g", a+1, c+1, prev.w, w)
+			default:
+				seen[key] = mention{w: w, from: prev.from, confirmed: true}
 			}
 		}
 	}
-	if len(seen) != 0 {
-		return nil, fmt.Errorf("graph: %d edges listed by only one endpoint", len(seen))
+
+	// Both endpoints have reported; only now is O(n) allocation justified.
+	b := NewBuilder(n)
+	for v, w := range vwgts {
+		b.SetVertexWeight(v, w)
+	}
+	for key, h := range seen {
+		if !h.confirmed {
+			return nil, fmt.Errorf("graph: edge {%d,%d} listed by only one endpoint", key[0]+1, key[1]+1)
+		}
+		b.AddEdge(int(key[0]), int(key[1]), h.w)
 	}
 	g, err := b.Build()
 	if err != nil {
@@ -165,10 +208,29 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// nextDataLine returns the next non-blank, non-comment line; used for the
+// header, where blank lines carry no meaning.
 func nextDataLine(sc *bufio.Scanner) (string, error) {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// nextBodyLine returns the next non-comment line. Unlike the header, a blank
+// body line is meaningful: it is the (empty) adjacency list of an isolated
+// vertex, exactly what WriteMETIS emits for one.
+func nextBodyLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
 			continue
 		}
 		return line, nil

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	ff "repro"
+)
+
+// resultCache is a thread-safe LRU over computed partitions, keyed by
+// cacheKey (graph content hash + method + K + objective + seed + work caps).
+// Values are shared *ff.Result pointers; callers must treat them as
+// immutable.
+type resultCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *ff.Result
+}
+
+// newResultCache returns a cache holding up to capacity results; a
+// non-positive capacity disables caching (every lookup misses, stores are
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (*ff.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) add(key string, res *ff.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key, res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheStats is the snapshot reported by /healthz.
+type cacheStats struct {
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Size: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+}

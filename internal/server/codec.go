@@ -1,0 +1,206 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	ff "repro"
+	"repro/internal/graph"
+)
+
+// PartitionRequest is the body of POST /v1/partition.
+//
+// The graph arrives inline, either as METIS/Chaco text or as an explicit
+// edge list; exactly one of the two encodings must be present. All option
+// fields are optional and default like the library facade (method
+// "fusion-fission", objective "mcut", budget 2s, seed 0).
+type PartitionRequest struct {
+	Graph GraphSpec `json:"graph"`
+
+	// K is the number of parts (required, >= 1).
+	K int `json:"k"`
+	// Method is a method identifier from GET /v1/methods.
+	Method string `json:"method,omitempty"`
+	// Objective is "cut", "ncut" or "mcut".
+	Objective string `json:"objective,omitempty"`
+	// Seed makes stochastic methods reproducible; identical requests with
+	// the same seed return the identical partition (and hit the cache).
+	Seed int64 `json:"seed,omitempty"`
+	// Budget caps metaheuristic wall-clock time, as a Go duration string
+	// ("250ms", "2s"). The server clamps it to its configured maximum.
+	Budget string `json:"budget,omitempty"`
+	// MaxSteps optionally caps metaheuristic steps for deterministic work.
+	MaxSteps int `json:"max_steps,omitempty"`
+
+	// Wait selects synchronous (default) or asynchronous handling. With
+	// wait=false the server replies 202 with a job id to poll at
+	// GET /v1/jobs/{id}.
+	Wait *bool `json:"wait,omitempty"`
+	// Timeout bounds the whole job (queue wait + run), as a Go duration
+	// string. Default: budget plus the server's grace period.
+	Timeout string `json:"timeout,omitempty"`
+	// NoCache forces a fresh computation, bypassing the result cache for
+	// both lookup and store.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// GraphSpec carries an inline graph in one of two encodings.
+type GraphSpec struct {
+	// METIS is the graph in METIS/Chaco text format.
+	METIS string `json:"metis,omitempty"`
+	// N is the vertex count for the edge-list encoding.
+	N int `json:"n,omitempty"`
+	// Edges lists undirected edges as [u, v] or [u, v, weight] with
+	// 0-based integer endpoints; weight defaults to 1.
+	Edges [][]float64 `json:"edges,omitempty"`
+	// VertexWeights optionally assigns per-vertex weights (length N).
+	VertexWeights []float64 `json:"vertex_weights,omitempty"`
+}
+
+// badRequestError marks client errors that map to HTTP 400.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{fmt.Sprintf(format, args...)}
+}
+
+// decodeGraph materializes the request's graph.
+func decodeGraph(spec GraphSpec) (*graph.Graph, error) {
+	hasMETIS := spec.METIS != ""
+	hasEdges := spec.N != 0 || len(spec.Edges) != 0 || len(spec.VertexWeights) != 0
+	switch {
+	case hasMETIS && hasEdges:
+		return nil, badRequestf("graph: give either metis text or an edge list, not both")
+	case hasMETIS:
+		g, err := graph.ReadMETIS(strings.NewReader(spec.METIS))
+		if err != nil {
+			return nil, badRequestf("%v", err) // already "graph:"-prefixed
+		}
+		return g, nil
+	case hasEdges:
+		return decodeEdgeList(spec)
+	}
+	return nil, badRequestf("graph: missing (want graph.metis or graph.n + graph.edges)")
+}
+
+func decodeEdgeList(spec GraphSpec) (*graph.Graph, error) {
+	if spec.N <= 0 {
+		return nil, badRequestf("graph: n must be positive, got %d", spec.N)
+	}
+	if len(spec.VertexWeights) != 0 && len(spec.VertexWeights) != spec.N {
+		return nil, badRequestf("graph: %d vertex weights for %d vertices", len(spec.VertexWeights), spec.N)
+	}
+	b := graph.NewBuilder(spec.N)
+	for i, w := range spec.VertexWeights {
+		b.SetVertexWeight(i, w)
+	}
+	for i, e := range spec.Edges {
+		if len(e) != 2 && len(e) != 3 {
+			return nil, badRequestf("graph: edge %d has %d entries (want [u,v] or [u,v,w])", i, len(e))
+		}
+		u, v := e[0], e[1]
+		if u != math.Trunc(u) || v != math.Trunc(v) {
+			return nil, badRequestf("graph: edge %d has non-integer endpoints [%g,%g]", i, u, v)
+		}
+		w := 1.0
+		if len(e) == 3 {
+			w = e[2]
+		}
+		b.AddEdge(int(u), int(v), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return g, nil
+}
+
+// options converts the wire fields to library options, clamping the budget
+// to maxBudget (0 = no clamp). The result is normalized so that equivalent
+// requests produce identical cache keys.
+func (r *PartitionRequest) options(maxBudget time.Duration) (ff.Options, error) {
+	if r.K < 1 {
+		return ff.Options{}, badRequestf("k must be >= 1, got %d", r.K)
+	}
+	opt := ff.Options{
+		K:         r.K,
+		Method:    r.Method,
+		Objective: r.Objective,
+		Seed:      r.Seed,
+		MaxSteps:  r.MaxSteps,
+	}
+	if r.Budget != "" {
+		d, err := time.ParseDuration(r.Budget)
+		if err != nil || d <= 0 {
+			return ff.Options{}, badRequestf("bad budget %q (want a positive Go duration like \"500ms\")", r.Budget)
+		}
+		opt.Budget = d
+	}
+	opt, err := ff.Normalize(opt)
+	if err != nil {
+		return ff.Options{}, badRequestf("%v", err)
+	}
+	if maxBudget > 0 && opt.Budget > maxBudget {
+		opt.Budget = maxBudget
+	}
+	return opt, nil
+}
+
+// timeout parses the job timeout; def applies when the field is absent.
+func (r *PartitionRequest) timeout(def time.Duration) (time.Duration, error) {
+	if r.Timeout == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(r.Timeout)
+	if err != nil || d <= 0 {
+		return 0, badRequestf("bad timeout %q (want a positive Go duration like \"5s\")", r.Timeout)
+	}
+	return d, nil
+}
+
+// graphDigest hashes a graph's full content — vertex count, vertex weights,
+// and the sorted CSR adjacency with edge weights — so that the same graph
+// submitted as METIS text or as an edge list (in any edge order) lands on
+// the same digest.
+func graphDigest(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	n := g.NumVertices()
+	writeInt(int64(n))
+	writeInt(int64(g.NumEdges()))
+	for v := 0; v < n; v++ {
+		writeFloat(g.VertexWeight(v))
+		nbrs := g.Neighbors(v)
+		wts := g.Weights(v)
+		for i, u := range nbrs {
+			if int(u) < v {
+				continue // count each undirected edge once, from its low endpoint
+			}
+			writeInt(int64(u))
+			writeFloat(wts[i])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey identifies a computation: graph content plus every option that
+// influences the result. Options must be normalized.
+func cacheKey(digest string, opt ff.Options) string {
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps)
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	ff "repro"
+	"repro/internal/graph"
+)
+
+func mustDecode(t *testing.T, spec GraphSpec) *graph.Graph {
+	t.Helper()
+	g, err := decodeGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphDigestCanonical(t *testing.T) {
+	ringEdges := GraphSpec{N: 4, Edges: [][]float64{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	scrambled := GraphSpec{N: 4, Edges: [][]float64{{3, 0}, {2, 3}, {0, 1}, {1, 2}}}
+	metis := GraphSpec{METIS: "4 4\n2 4\n1 3\n2 4\n3 1\n"}
+
+	d1 := graphDigest(mustDecode(t, ringEdges))
+	d2 := graphDigest(mustDecode(t, scrambled))
+	d3 := graphDigest(mustDecode(t, metis))
+	if d1 != d2 || d1 != d3 {
+		t.Fatalf("same graph, different digests: %s %s %s", d1, d2, d3)
+	}
+
+	// Any content change must move the digest.
+	weighted := GraphSpec{N: 4, Edges: [][]float64{{0, 1, 2}, {1, 2}, {2, 3}, {3, 0}}}
+	if graphDigest(mustDecode(t, weighted)) == d1 {
+		t.Fatal("edge weight ignored by digest")
+	}
+	vertexW := ringEdges
+	vertexW.VertexWeights = []float64{2, 1, 1, 1}
+	if graphDigest(mustDecode(t, vertexW)) == d1 {
+		t.Fatal("vertex weight ignored by digest")
+	}
+	bigger := GraphSpec{N: 5, Edges: [][]float64{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	if graphDigest(mustDecode(t, bigger)) == d1 {
+		t.Fatal("vertex count ignored by digest")
+	}
+}
+
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	g := mustDecode(t, GraphSpec{N: 4, Edges: [][]float64{{0, 1}, {1, 2}, {2, 3}, {3, 0}}})
+	d := graphDigest(g)
+	base := ff.Options{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second}
+	keys := map[string]bool{cacheKey(d, base): true}
+	for _, v := range []ff.Options{
+		{K: 3, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second},
+		{K: 2, Method: "annealing", Objective: "mcut", Seed: 1, Budget: time.Second},
+		{K: 2, Method: "fusion-fission", Objective: "cut", Seed: 1, Budget: time.Second},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 2, Budget: time.Second},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: 2 * time.Second},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5},
+	} {
+		k := cacheKey(d, v)
+		if keys[k] {
+			t.Fatalf("option change did not change key: %+v", v)
+		}
+		keys[k] = true
+	}
+}
+
+func TestRequestOptionsNormalizeAndClamp(t *testing.T) {
+	r := PartitionRequest{K: 2}
+	opt, err := r.options(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Method != "fusion-fission" || opt.Objective != "mcut" || opt.Budget != 2*time.Second {
+		t.Fatalf("defaults not applied: %+v", opt)
+	}
+
+	r = PartitionRequest{K: 2, Budget: "10s"}
+	opt, err = r.options(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Budget != 3*time.Second {
+		t.Fatalf("budget not clamped: %v", opt.Budget)
+	}
+
+	if _, err := (&PartitionRequest{K: 0}).options(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := (&PartitionRequest{K: 2, Budget: "0s"}).options(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestLRUEvictionAndStats(t *testing.T) {
+	c := newResultCache(2)
+	r := func(m string) *ff.Result { return &ff.Result{Method: m} }
+	c.add("a", r("a"))
+	c.add("b", r("b"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("c", r("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.stats()
+	if st.Size != 2 || st.Capacity != 2 || st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Updating an existing key must not grow the cache.
+	c.add("c", r("c2"))
+	if got, _ := c.get("c"); got.Method != "c2" || c.len() != 2 {
+		t.Fatalf("update in place failed: %+v len %d", got, c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.add("a", &ff.Result{})
+	if _, ok := c.get("a"); ok || c.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestDecodeGraphErrors(t *testing.T) {
+	for name, spec := range map[string]GraphSpec{
+		"empty":          {},
+		"both":           {METIS: "1 0\n\n", N: 1},
+		"zero n":         {Edges: [][]float64{{0, 1}}},
+		"bad metis":      {METIS: "not a graph"},
+		"weight len":     {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{1, 2, 3}},
+		"negative vw":    {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{-1, 1}},
+		"fractional":     {N: 2, Edges: [][]float64{{0.5, 1}}},
+		"arity":          {N: 2, Edges: [][]float64{{0, 1, 1, 1}}},
+		"self loop":      {N: 2, Edges: [][]float64{{1, 1}}},
+		"out of range":   {N: 2, Edges: [][]float64{{0, 2}}},
+		"negative idx":   {N: 2, Edges: [][]float64{{-1, 1}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := decodeGraph(spec); err == nil {
+				t.Fatalf("spec %+v accepted", spec)
+			} else if !strings.Contains(err.Error(), "graph") {
+				t.Fatalf("unhelpful error: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	ff "repro"
+	"repro/internal/graph"
+)
+
+// jobStatus is the lifecycle of a submitted partition job.
+type jobStatus string
+
+const (
+	statusQueued    jobStatus = "queued"
+	statusRunning   jobStatus = "running"
+	statusDone      jobStatus = "done"
+	statusFailed    jobStatus = "failed"
+	statusCancelled jobStatus = "cancelled"
+)
+
+// errQueueFull maps to HTTP 503.
+var errQueueFull = errors.New("server: job queue full, retry later")
+
+// job is one partition computation moving through the pool. Identical
+// concurrent requests (same cache key) coalesce onto a single job: the
+// computation runs once and every waiter reads the shared outcome.
+type job struct {
+	id  string
+	key string // cache key; "" for no_cache jobs, which never coalesce
+
+	g   *graph.Graph
+	opt ff.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed exactly once, when the job finishes
+
+	mu         sync.Mutex
+	status     jobStatus
+	result     *ff.Result
+	err        error
+	coalesced  int // extra requests served by this one computation
+	createdAt  time.Time
+	finishedAt time.Time
+}
+
+// snapshot reads the job state consistently.
+func (j *job) snapshot() (jobStatus, *ff.Result, error, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.result, j.err, j.coalesced
+}
+
+// finish records the outcome and wakes all waiters. Only the first call
+// takes effect.
+func (j *job) finish(status jobStatus, res *ff.Result, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == statusDone || j.status == statusFailed || j.status == statusCancelled {
+		return false
+	}
+	j.status = status
+	j.result = res
+	j.err = err
+	j.finishedAt = time.Now()
+	close(j.done)
+	return true
+}
+
+// poolStats is the counters snapshot reported by /healthz.
+type poolStats struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	Queued     int   `json:"queued"`
+	Submitted  int64 `json:"submitted"`
+	Coalesced  int64 `json:"coalesced"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Cancelled  int64 `json:"cancelled"`
+}
+
+// pool runs jobs on a fixed set of workers over a bounded queue.
+type pool struct {
+	queue   chan *job
+	cache   *resultCache
+	workers int
+	jobTTL  time.Duration
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*job // by id, finished jobs retained for jobTTL
+	inflight map[string]*job // by cache key, queued or running only
+	lastGC   time.Time
+	stats    poolStats
+}
+
+func newPool(workers, depth int, cache *resultCache, jobTTL time.Duration) *pool {
+	p := &pool{
+		queue:    make(chan *job, depth),
+		cache:    cache,
+		workers:  workers,
+		jobTTL:   jobTTL,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// submit enqueues a computation, or attaches to an in-flight job with the
+// same cache key. timeout bounds the job end to end: queue wait plus run.
+func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.Duration) (*job, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("server: shutting down")
+	}
+	p.gcLocked()
+	if key != "" {
+		if j, ok := p.inflight[key]; ok {
+			j.mu.Lock()
+			j.coalesced++
+			j.mu.Unlock()
+			p.stats.Coalesced++
+			return j, nil
+		}
+	}
+	p.seq++
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", p.seq),
+		key:       key,
+		g:         g,
+		opt:       opt,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    statusQueued,
+		createdAt: time.Now(),
+	}
+	select {
+	case p.queue <- j:
+	default:
+		cancel()
+		return nil, errQueueFull
+	}
+	p.jobs[j.id] = j
+	if key != "" {
+		p.inflight[key] = j
+	}
+	p.stats.Submitted++
+	return j, nil
+}
+
+// get looks up a job by id.
+func (p *pool) get(id string) (*job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a queued or running job. Cancellation is idempotent:
+// cancelled is true whenever the job ends up in the cancelled state, no
+// matter which goroutine got there first; a job that already finished done
+// or failed returns (false, true).
+func (p *pool) cancelJob(id string) (cancelled, found bool) {
+	j, ok := p.get(id)
+	if !ok {
+		return false, false
+	}
+	j.cancel()
+	if j.finish(statusCancelled, nil, context.Canceled) {
+		p.detach(j)
+		p.mu.Lock()
+		p.stats.Cancelled++
+		p.mu.Unlock()
+		return true, true
+	}
+	status, _, _, _ := j.snapshot()
+	return status == statusCancelled, true
+}
+
+// detach removes a finished job from the coalescing index.
+func (p *pool) detach(j *job) {
+	if j.key == "" {
+		return
+	}
+	p.mu.Lock()
+	if p.inflight[j.key] == j {
+		delete(p.inflight, j.key)
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.run(j)
+	}
+}
+
+func (p *pool) run(j *job) {
+	j.mu.Lock()
+	if j.status != statusQueued {
+		j.mu.Unlock() // already cancelled while queued
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.mu.Unlock()
+		j.finish(statusFailed, nil, fmt.Errorf("server: job expired in queue: %w", err))
+		p.detach(j)
+		p.bump(&p.stats.Failed)
+		return
+	}
+	j.status = statusRunning
+	j.mu.Unlock()
+
+	res, err := ff.PartitionContext(j.ctx, j.g, j.opt)
+	j.cancel()
+	if err != nil {
+		// An explicit DELETE surfaces as context.Canceled; whichever of
+		// this goroutine and cancelJob finishes the job first, the
+		// recorded outcome is "cancelled", not "failed".
+		status := statusFailed
+		if errors.Is(err, context.Canceled) {
+			status = statusCancelled
+		}
+		if j.finish(status, nil, err) {
+			p.detach(j)
+			if status == statusCancelled {
+				p.bump(&p.stats.Cancelled)
+			} else {
+				p.bump(&p.stats.Failed)
+			}
+		}
+		return
+	}
+	if j.finish(statusDone, res, nil) {
+		if j.key != "" {
+			p.cache.add(j.key, res)
+		}
+		p.detach(j)
+		p.bump(&p.stats.Completed)
+	}
+}
+
+func (p *pool) bump(counter *int64) {
+	p.mu.Lock()
+	*counter++
+	p.mu.Unlock()
+}
+
+// gcLocked drops finished jobs older than jobTTL. The full-map sweep is
+// amortized: at most once per gc interval, so submission stays O(1) under
+// sustained traffic. Caller holds p.mu.
+func (p *pool) gcLocked() {
+	if p.jobTTL <= 0 {
+		return
+	}
+	interval := 30 * time.Second
+	if p.jobTTL < interval {
+		interval = p.jobTTL
+	}
+	now := time.Now()
+	if now.Sub(p.lastGC) < interval {
+		return
+	}
+	p.lastGC = now
+	cutoff := now.Add(-p.jobTTL)
+	for id, j := range p.jobs {
+		j.mu.Lock()
+		expired := !j.finishedAt.IsZero() && j.finishedAt.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(p.jobs, id)
+		}
+	}
+}
+
+func (p *pool) snapshot() poolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Workers = p.workers
+	s.QueueDepth = cap(p.queue)
+	s.Queued = len(p.queue)
+	return s
+}
+
+// close drains the pool: no new submissions, workers finish queued jobs.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}

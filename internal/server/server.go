@@ -1,0 +1,311 @@
+// Package server turns the fusionfission library into a partition-as-a-
+// service HTTP API:
+//
+//	POST   /v1/partition   submit a graph + options, get a partition
+//	GET    /v1/jobs/{id}   poll an asynchronous job
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/methods     list available methods and objectives
+//	GET    /healthz        liveness + pool/cache statistics
+//
+// Requests run on a bounded worker pool with a per-job deadline covering
+// queue wait plus execution. Identical concurrent requests coalesce onto a
+// single computation, and finished results are served from an LRU cache
+// keyed by (graph content hash, method, K, objective, seed, work caps) —
+// with deterministic seeds, a repeat query never recomputes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	ff "repro"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent partition computations
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64); beyond it
+	// submissions fail with 503.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// MaxBudget clamps the per-request metaheuristic budget (default 30s).
+	MaxBudget time.Duration
+	// Grace is added to a request's budget to form the default per-job
+	// deadline, covering queue wait and fixed method overhead
+	// (default 10s).
+	Grace time.Duration
+	// JobTTL is how long finished jobs stay pollable (default 15m).
+	JobTTL time.Duration
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+	if c.Grace <= 0 {
+		c.Grace = 10 * time.Second
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server is the partition service. Create with New, mount via Handler,
+// release the workers with Close.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	pool  *pool
+	start time.Time
+}
+
+// New builds a server with its worker pool already running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := newResultCache(cfg.CacheSize)
+	return &Server{
+		cfg:   cfg,
+		cache: cache,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth, cache, cfg.JobTTL),
+		start: time.Now(),
+	}
+}
+
+// Close stops accepting jobs and waits for in-flight work to finish.
+func (s *Server) Close() { s.pool.close() }
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/methods", s.handleMethods)
+	mux.HandleFunc("/v1/partition", s.handlePartition)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return mux
+}
+
+// partitionResponse is the body for job submission and polling.
+type partitionResponse struct {
+	JobID  string     `json:"job_id"`
+	Status jobStatus  `json:"status"`
+	Cached bool       `json:"cached,omitempty"`
+	Result *ff.Result `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	// Poll is the status URL for asynchronous submissions.
+	Poll string `json:"poll,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"pool":           s.pool.snapshot(),
+		"cache":          s.cache.stats(),
+	})
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"methods":    ff.MethodInfos(),
+		"objectives": []string{"cut", "ncut", "mcut"},
+	})
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PartitionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	g, err := decodeGraph(req.Graph)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	opt, err := req.options(s.cfg.MaxBudget)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	if opt.K > g.NumVertices() {
+		writeError(w, http.StatusBadRequest, "k = %d exceeds vertex count %d", opt.K, g.NumVertices())
+		return
+	}
+	timeout, err := req.timeout(opt.Budget + s.cfg.Grace)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+
+	key := ""
+	if !req.NoCache {
+		key = cacheKey(graphDigest(g), opt)
+		if res, ok := s.cache.get(key); ok {
+			writeJSON(w, http.StatusOK, partitionResponse{
+				JobID: "", Status: statusDone, Cached: true, Result: res,
+			})
+			return
+		}
+	}
+
+	j, err := s.pool.submit(g, opt, key, timeout)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, partitionResponse{
+			JobID: j.id, Status: statusQueued, Poll: "/v1/jobs/" + j.id,
+		})
+		return
+	}
+
+	// The wait is bounded by this request's own timeout, not the job's:
+	// a request that coalesced onto an earlier submission may have asked
+	// for a much shorter deadline than the job it attached to.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+		s.writeJobOutcome(w, j)
+	case <-timer.C:
+		writeJSON(w, http.StatusGatewayTimeout, partitionResponse{
+			JobID: j.id, Status: statusRunning,
+			Error: "timed out waiting; the job may still complete",
+			Poll:  "/v1/jobs/" + j.id,
+		})
+	case <-r.Context().Done():
+		// Client gone; the job keeps running and will populate the cache.
+		writeError(w, statusClientClosedRequest, "client closed request; job %s still running", j.id)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client that
+// disconnected mid-request; the response is never seen, the code feeds logs.
+const statusClientClosedRequest = 499
+
+// writeRequestError maps codec errors: client mistakes get 400, anything
+// else 500.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		writeError(w, http.StatusBadRequest, "%s", bad.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// writeJobOutcome renders a finished job.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, j *job) {
+	status, res, err, _ := j.snapshot()
+	switch status {
+	case statusDone:
+		writeJSON(w, http.StatusOK, partitionResponse{JobID: j.id, Status: status, Result: res})
+	case statusCancelled:
+		writeJSON(w, http.StatusConflict, partitionResponse{JobID: j.id, Status: status, Error: "job cancelled"})
+	default:
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, partitionResponse{JobID: j.id, Status: status, Error: err.Error()})
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "bad job path")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		j, ok := s.pool.get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		status, res, err, _ := j.snapshot()
+		resp := partitionResponse{JobID: j.id, Status: status}
+		switch status {
+		case statusDone:
+			resp.Result = res
+		case statusFailed, statusCancelled:
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodDelete:
+		cancelled, found := s.pool.cancelJob(id)
+		if !found {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		if !cancelled {
+			writeError(w, http.StatusConflict, "job %q already finished", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, partitionResponse{JobID: id, Status: statusCancelled})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
