@@ -1,0 +1,139 @@
+package fusionfission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Cooperative-cancellation contract, for every method the facade exposes:
+//
+//  1. a context that is done before the call starts deterministically
+//     yields ctx.Err() — nothing runs;
+//  2. a context cancelled mid-flight returns promptly: a classical method
+//     with ctx.Err(), a metaheuristic with its best-so-far partition and
+//     Result.Cancelled set;
+//  3. in either case no goroutine keeps computing after the call returns
+//     (the solver runs on the calling goroutine).
+
+// allMethodIDs is every facade method, Table 1 rows and extensions.
+func allMethodIDs() []string {
+	return append(Methods(), ExtensionMethods()...)
+}
+
+// cancelGraph is large enough that every method has work to abandon, small
+// enough that the suite stays fast when cancellation works.
+func cancelGraph() *Graph {
+	return graph.Grid2D(48, 48)
+}
+
+func TestPartitionContextAlreadyCancelled(t *testing.T) {
+	g := cancelGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range allMethodIDs() {
+		res, err := PartitionContext(ctx, g, Options{K: 16, Method: id, Seed: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got res=%v err=%v", id, res, err)
+		}
+	}
+}
+
+func TestPartitionContextExpiredDeadline(t *testing.T) {
+	g := cancelGraph()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, id := range allMethodIDs() {
+		res, err := PartitionContext(ctx, g, Options{K: 16, Method: id, Seed: 1})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: want context.DeadlineExceeded, got res=%v err=%v", id, res, err)
+		}
+	}
+}
+
+func TestPartitionContextClampedButCompleteNotCancelled(t *testing.T) {
+	// The deadline clamps the 30s budget, but MaxSteps binds long before the
+	// clamp: the run is complete and must not be marked partial (a false
+	// Cancelled would stop the server from ever caching deterministic
+	// step-capped requests submitted with a timeout).
+	g := graph.Grid2D(10, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := PartitionContext(ctx, g, Options{
+		K: 4, Method: "fusion-fission", Seed: 1, Budget: 30 * time.Second, MaxSteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled {
+		t.Fatalf("complete step-capped run marked Cancelled: %+v", res)
+	}
+	if res.NumParts != 4 {
+		t.Fatalf("NumParts = %d", res.NumParts)
+	}
+}
+
+func TestPartitionContextCancelMidFlight(t *testing.T) {
+	g := cancelGraph()
+	metaheuristic := map[string]bool{}
+	for _, info := range MethodInfos() {
+		metaheuristic[info.ID] = info.Metaheuristic
+	}
+
+	const delay = 60 * time.Millisecond
+	// Generous so slow CI and -race never flake; when cancellation works
+	// every method returns within a few checking intervals of the cancel.
+	const bound = 5 * time.Second
+
+	for _, id := range allMethodIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(delay)
+				cancel()
+			}()
+			start := time.Now()
+			// The 30s budget means a method that ignores cancellation blows
+			// the bound by an order of magnitude.
+			res, err := PartitionContext(ctx, g, Options{
+				K: 16, Method: id, Seed: 1, Budget: 30 * time.Second, MaxSteps: 1 << 30,
+			})
+			elapsed := time.Since(start)
+			if elapsed > delay+bound {
+				t.Fatalf("returned %v after cancellation (total %v)", elapsed-delay, elapsed)
+			}
+			switch {
+			case err != nil:
+				// Classical methods — and metaheuristics cancelled before a
+				// first solution — report the cancellation.
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			case metaheuristic[id]:
+				// Best-so-far: a full, valid partition marked as partial
+				// (with a 30s budget the only way out this early is the
+				// cancellation).
+				if !res.Cancelled {
+					t.Errorf("metaheuristic result not marked Cancelled")
+				}
+				if len(res.Parts) != g.NumVertices() {
+					t.Errorf("partial result has %d assignments for %d vertices", len(res.Parts), g.NumVertices())
+				}
+				if res.NumParts != 16 {
+					t.Errorf("partial result has %d parts, want 16", res.NumParts)
+				}
+			default:
+				// A classical method may legitimately have finished before
+				// the cancel; the result must then be complete and unmarked.
+				if res.Cancelled {
+					t.Errorf("classical method returned a Cancelled result")
+				}
+			}
+		})
+	}
+}

@@ -187,6 +187,9 @@ type Options struct {
 // normalized fills defaults and resolves the method and objective, returning
 // the completed options alongside the experiments row label.
 func (o Options) normalized() (Options, string, objective.Objective, error) {
+	if o.K < 1 {
+		return o, "", 0, fmt.Errorf("fusionfission: K=%d out of range (want K >= 1)", o.K)
+	}
 	if o.Method == "" {
 		o.Method = "fusion-fission"
 	}
@@ -238,66 +241,76 @@ type Result struct {
 	Elapsed time.Duration `json:"elapsed"`
 	// Method echoes the method identifier used.
 	Method string `json:"method"`
+	// Cancelled reports a partial result: the metaheuristic was interrupted
+	// by context cancellation, or its budget was clamped by the context
+	// deadline, and the partition is the best found so far rather than the
+	// result of a full-budget run. Always false for classical methods,
+	// which return ctx.Err() instead of a partial partition, and for
+	// Partition, whose context never fires.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // Partition cuts g into opt.K parts with the selected method.
 func Partition(g *Graph, opt Options) (*Result, error) {
+	return PartitionContext(context.Background(), g, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation. The selected
+// method's time budget is clamped to the context deadline, and every method
+// — metaheuristic or classical — polls ctx at its natural step boundaries,
+// so the computation itself stops promptly once ctx fires; no goroutine
+// outlives the call.
+//
+// Cancellation semantics per method family:
+//
+//   - Metaheuristics (anytime searches) return the best partition found so
+//     far with Result.Cancelled set and a nil error. If ctx fires before a
+//     first solution exists, ctx.Err() is returned instead.
+//   - Classical methods have no meaningful partial result and return
+//     ctx.Err().
+//
+// A context that is already done on entry always yields ctx.Err() without
+// starting the solver.
+func PartitionContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	opt, rowName, obj, err := opt.normalized()
 	if err != nil {
 		return nil, err
 	}
+	if opt.K > g.NumVertices() {
+		return nil, fmt.Errorf("fusionfission: K=%d exceeds the vertex count %d", opt.K, g.NumVertices())
+	}
 	spec, err := experiments.MethodByName(rowName)
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	p, err := spec.Run(g, opt.K, obj, opt.Budget, opt.MaxSteps, opt.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return resultFrom(p, opt.Method, time.Since(start)), nil
-}
-
-// PartitionContext is Partition bounded by a context: the method's time
-// budget is clamped to the context deadline, and if the context is cancelled
-// before the method returns, PartitionContext returns ctx.Err() immediately.
-// The underlying run cannot be interrupted mid-flight: an abandoned
-// metaheuristic exits once its (clamped) budget expires, but the
-// criterion-blind classical methods ignore the budget entirely and keep
-// their goroutine until they complete. Callers that hand untrusted input to
-// classical methods should bound the input size rather than rely on the
-// deadline to stop the computation.
-func PartitionContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
-	opt, _, _, err := opt.normalized()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	clamped := false
 	if deadline, ok := ctx.Deadline(); ok {
 		if remaining := time.Until(deadline); remaining < opt.Budget {
 			if remaining <= 0 {
 				return nil, context.DeadlineExceeded
 			}
 			opt.Budget = remaining
+			clamped = true
 		}
 	}
-	type outcome struct {
-		res *Result
-		err error
+	start := time.Now()
+	p, partial, err := spec.Run(ctx, g, opt.K, obj, opt.Budget, opt.MaxSteps, opt.Seed)
+	if err != nil {
+		return nil, err
 	}
-	ch := make(chan outcome, 1)
-	go func() {
-		res, err := Partition(g, opt)
-		ch <- outcome{res, err}
-	}()
-	select {
-	case out := <-ch:
-		return out.res, out.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	res := resultFrom(p, opt.Method, time.Since(start))
+	// partial is the solver's own record of having observed the
+	// cancellation. A run truncated by a deadline-clamped budget is partial
+	// too — it spent the whole clamp without reaching its step cap, and its
+	// own budget check may beat the context timer by a hair — so the server
+	// can decide "never cache partial results" without racing that timer. A
+	// clamped run that finished under the clamp (e.g. MaxSteps bound first)
+	// is complete and stays unmarked.
+	res.Cancelled = partial || (spec.Metaheuristic && clamped && res.Elapsed >= opt.Budget)
+	return res, nil
 }
 
 func resultFrom(p *partition.P, method string, elapsed time.Duration) *Result {

@@ -88,6 +88,51 @@ func TestFacadeErrors(t *testing.T) {
 	}
 }
 
+func TestFacadeKValidation(t *testing.T) {
+	g := smallGraph(t) // 8 vertices
+	cases := []struct {
+		name    string
+		k       int
+		method  string
+		wantErr bool
+	}{
+		{"negative", -3, "linear-bi", true},
+		{"zero", 0, "linear-bi", true},
+		{"zero default method", 0, "", true},
+		{"one classical", 1, "linear-bi", false},
+		{"n classical", 8, "linear-bi", false},
+		{"n metaheuristic", 8, "fusion-fission", false},
+		{"beyond n", 9, "linear-bi", true},
+		{"beyond n metaheuristic", 9, "fusion-fission", true},
+		{"far beyond n", 1000, "spectral-lanc-bi", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Partition(g, Options{K: c.k, Method: c.method, Seed: 1, MaxSteps: 500})
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("K=%d method=%q accepted: %+v", c.k, c.method, res)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("K=%d method=%q rejected: %v", c.k, c.method, err)
+			}
+			if res.NumParts != c.k {
+				t.Fatalf("K=%d method=%q: NumParts = %d", c.k, c.method, res.NumParts)
+			}
+		})
+	}
+	// Normalize must reject an invalid K too, so cache keys are never built
+	// for requests the solvers would refuse.
+	if _, err := Normalize(Options{K: 0}); err == nil {
+		t.Fatal("Normalize accepted K=0")
+	}
+	if _, err := Normalize(Options{K: -1}); err == nil {
+		t.Fatal("Normalize accepted K=-1")
+	}
+}
+
 func TestFacadeMETISRoundTrip(t *testing.T) {
 	g := smallGraph(t)
 	var buf bytes.Buffer

@@ -16,6 +16,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -91,21 +92,38 @@ type Result struct {
 	Energy float64
 	Steps  int
 	Trace  []TracePoint
+	// Cancelled reports that the run was interrupted by context
+	// cancellation and Best is the best partition found so far.
+	Cancelled bool
 }
 
 // Partition anneals a k-way partition of g.
 func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the move
+// loop polls ctx alongside its budget check and, once ctx fires, returns the
+// best partition found so far with Result.Cancelled set. A context that is
+// done before any solution exists yields (nil, ctx.Err()).
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	if k < 2 || k > n {
 		return nil, fmt.Errorf("anneal: k=%d out of range [2,%d]", k, n)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := rng.New(opt.Seed)
 
 	cur := opt.Initial
 	if cur == nil {
-		p, err := percolation.Partition(g, k, percolation.Options{Seed: opt.Seed})
+		p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: opt.Seed})
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("anneal: percolation initialization: %w", err)
 		}
 		cur = p
@@ -144,9 +162,18 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	t := opt.TMax
 	refused := 0
 	steps := 0
+	cancelled := false
+	done := ctx.Done()
 	for ; steps < opt.MaxSteps; steps++ {
-		if opt.Budget > 0 && steps%256 == 0 && time.Since(start) > opt.Budget {
-			break
+		if steps&255 == 0 {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled || (opt.Budget > 0 && time.Since(start) > opt.Budget) {
+				break
+			}
 		}
 		if t <= opt.TMin {
 			if opt.Budget <= 0 {
@@ -196,7 +223,7 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 		}
 	}
 	trace = append(trace, TracePoint{time.Since(start), bestE})
-	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Steps: steps, Trace: trace}, nil
+	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Steps: steps, Trace: trace, Cancelled: cancelled}, nil
 }
 
 // chooseTarget picks the destination part per the paper: the

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -125,5 +126,34 @@ func TestChooseTargetHotPicksStarving(t *testing.T) {
 	got := chooseTarget(p, 0, opt.TMax, opt, nil) // hot: never needs rng
 	if got != 2 {
 		t.Fatalf("hot target = %d, want the starving part 2", got)
+	}
+}
+
+func TestPartitionContextCancelReturnsBestSoFar(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	init, err := percolation.Partition(g, 4, percolation.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := PartitionContext(ctx, g, 4, Options{
+		Seed: 3, Budget: time.Minute, MaxSteps: 1 << 30, Initial: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("returned %v after a 50ms cancel", elapsed)
+	}
+	if !res.Cancelled {
+		t.Fatal("interrupted run not marked Cancelled")
+	}
+	if res.Best == nil || res.Best.NumParts() != 4 {
+		t.Fatalf("best-so-far invalid: %+v", res.Best)
 	}
 }

@@ -13,6 +13,7 @@
 package antcolony
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -93,6 +94,9 @@ type Result struct {
 	Energy     float64
 	Iterations int
 	Trace      []TracePoint
+	// Cancelled reports that the run was interrupted by context
+	// cancellation and Best is the best partition found so far.
+	Cancelled bool
 }
 
 const (
@@ -106,6 +110,14 @@ const (
 // Partition runs the competing-colonies search and returns the best
 // partition found.
 func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the colony
+// loop polls ctx every iteration alongside its budget check and, once ctx
+// fires, returns the best partition found so far with Result.Cancelled set.
+// A context that is done before any solution exists yields (nil, ctx.Err()).
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	if k < 2 || k > n {
@@ -114,12 +126,18 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	if opt.Rho <= 0 || opt.Rho >= 1 {
 		return nil, fmt.Errorf("antcolony: rho=%g out of (0,1)", opt.Rho)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := rng.New(opt.Seed)
 
 	init := opt.Initial
 	if init == nil {
-		p, err := percolation.Partition(g, k, percolation.Options{Seed: opt.Seed})
+		p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: opt.Seed})
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("antcolony: percolation initialization: %w", err)
 		}
 		init = p
@@ -181,8 +199,15 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	probs := make([]float64, 0, 64)
 
 	iters := 0
+	cancelled := false
+	done := ctx.Done()
 	for ; iters < opt.Iterations; iters++ {
-		if opt.Budget > 0 && iters%8 == 0 && time.Since(start) > opt.Budget {
+		select {
+		case <-done:
+			cancelled = true
+		default:
+		}
+		if cancelled || (opt.Budget > 0 && iters%8 == 0 && time.Since(start) > opt.Budget) {
 			break
 		}
 		// March the ants.
@@ -239,7 +264,7 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 		// the colonies retain it.
 		if opt.DaemonPeriod > 0 && iters%opt.DaemonPeriod == opt.DaemonPeriod-1 {
 			refine.KWay(cur, refine.KWayOptions{
-				Objective: opt.Objective, MaxPasses: 1, Imbalance: capFactor - 1,
+				Objective: opt.Objective, MaxPasses: 1, Imbalance: capFactor - 1, Ctx: ctx,
 			})
 			g.ForEachEdge(func(u, v int, w float64) {
 				if a := cur.Part(u); a == cur.Part(v) {
@@ -260,7 +285,7 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 		}
 	}
 	trace = append(trace, TracePoint{time.Since(start), bestE})
-	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Iterations: iters, Trace: trace}, nil
+	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Iterations: iters, Trace: trace, Cancelled: cancelled}, nil
 }
 
 // reassignByPheromone recomputes vertex ownership from the pheromone fields,

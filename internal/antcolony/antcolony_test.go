@@ -1,6 +1,7 @@
 package antcolony
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -118,5 +119,34 @@ func TestTraceMonotone(t *testing.T) {
 		if res.Trace[i].Energy > res.Trace[i-1].Energy+1e-9 {
 			t.Fatalf("trace not monotone at %d", i)
 		}
+	}
+}
+
+func TestPartitionContextCancelReturnsBestSoFar(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	init, err := percolation.Partition(g, 4, percolation.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := PartitionContext(ctx, g, 4, Options{
+		Seed: 3, Budget: time.Minute, Iterations: 1 << 30, Initial: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("returned %v after a 50ms cancel", elapsed)
+	}
+	if !res.Cancelled {
+		t.Fatal("interrupted run not marked Cancelled")
+	}
+	if res.Best == nil || res.Best.NumParts() != 4 {
+		t.Fatalf("best-so-far invalid: %+v", res.Best)
 	}
 }

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -130,10 +131,22 @@ type Result struct {
 	Steps int
 	// Trace records improvements of the best K-part objective over time.
 	Trace []TracePoint
+	// Cancelled reports that the search was interrupted by context
+	// cancellation and Best is the best partition found so far.
+	Cancelled bool
 }
 
 // Partition runs fusion-fission on g for k parts.
 func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the event
+// loop polls ctx once per fusion/fission event (alongside the budget check)
+// and, once ctx fires, returns the best partition found so far with
+// Result.Cancelled set. A context that is done before the Algorithm 2
+// initialization produces a first molecule yields (nil, ctx.Err()).
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	if k < 2 || k > n {
@@ -141,6 +154,9 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	}
 	if opt.TMin >= opt.TMax {
 		return nil, fmt.Errorf("core: TMin=%g must be below TMax=%g", opt.TMin, opt.TMax)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s := newSearch(g, k, opt)
 	start := time.Now()
@@ -153,8 +169,11 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("core: initial partition needs capacity n=%d for atoms to split freely", n)
 		}
 		s.cur = opt.Initial.Clone()
-	} else {
-		s.initialize() // Algorithm 2
+	} else if !s.initialize(ctx) { // Algorithm 2
+		// Cancelled before the molecule condensed near K atoms: there is no
+		// meaningful best-so-far, and normalizing a half-initialized
+		// molecule would cost more than the caller is willing to wait.
+		return nil, ctx.Err()
 	}
 	s.normalizeToK()
 	s.afterEvent(start)
@@ -163,7 +182,17 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	t := opt.TMax
 	cool := (opt.TMax - opt.TMin) / float64(opt.NbT)
 	steps := 0
+	cancelled := false
+	done := ctx.Done()
 	for ; steps < opt.MaxSteps; steps++ {
+		select {
+		case <-done:
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
 		if opt.Budget > 0 {
 			if steps%64 == 0 && time.Since(start) > opt.Budget {
 				break
@@ -230,11 +259,12 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	}
 	best := s.bestAtK
 	res := &Result{
-		Best:     best,
-		Energy:   s.energy.raw(best),
-		BestPerK: s.bestPerK,
-		Steps:    steps,
-		Trace:    s.trace,
+		Best:      best,
+		Energy:    s.energy.raw(best),
+		BestPerK:  s.bestPerK,
+		Steps:     steps,
+		Trace:     s.trace,
+		Cancelled: cancelled,
 	}
 	return res, nil
 }

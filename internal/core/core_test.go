@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -292,5 +293,30 @@ func TestTraceMonotoneAndAtK(t *testing.T) {
 	last := res.Trace[len(res.Trace)-1].Energy
 	if math.Abs(last-res.Energy) > 1e-9 {
 		t.Fatalf("trace end %g != result energy %g", last, res.Energy)
+	}
+}
+
+func TestPartitionContextCancelReturnsBestSoFar(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := PartitionContext(ctx, g, 4, Options{
+		Seed: 3, Budget: time.Minute, MaxSteps: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("returned %v after a 50ms cancel", elapsed)
+	}
+	if !res.Cancelled {
+		t.Fatal("interrupted run not marked Cancelled")
+	}
+	if res.Best == nil || res.Best.NumParts() != 4 {
+		t.Fatalf("best-so-far invalid: %+v", res.Best)
 	}
 }

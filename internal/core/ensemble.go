@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +25,14 @@ type EnsembleOptions struct {
 // searches share nothing, so the speedup is embarrassingly parallel — the
 // natural way to spend a multicore budget on a sequential metaheuristic.
 func Ensemble(g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
+	return EnsembleContext(context.Background(), g, k, opt)
+}
+
+// EnsembleContext is Ensemble under cooperative cancellation: ctx is shared
+// by every run, so one cancellation stops them all and the best of the
+// partial results is returned with Result.Cancelled set. A context that is
+// done before any run produced a solution yields (nil, ctx.Err()).
+func EnsembleContext(ctx context.Context, g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
 	runs := opt.Runs
 	if runs <= 0 {
 		runs = runtime.GOMAXPROCS(0)
@@ -50,7 +59,7 @@ func Ensemble(g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
 			for seed := range jobs {
 				o := opt.Base
 				o.Seed = seed
-				res, err := Partition(g, k, o)
+				res, err := PartitionContext(ctx, g, k, o)
 				results <- outcome{res, err}
 			}
 		}()
@@ -67,6 +76,7 @@ func Ensemble(g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
 	var best *Result
 	var firstErr error
 	failed := 0
+	anyCancelled := false
 	for out := range results {
 		if out.err != nil {
 			failed++
@@ -75,12 +85,17 @@ func Ensemble(g *graph.Graph, k int, opt EnsembleOptions) (*Result, error) {
 			}
 			continue
 		}
+		anyCancelled = anyCancelled || out.res.Cancelled
 		if best == nil || out.res.Energy < best.Energy {
 			best = out.res
 		}
 	}
 	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: all %d ensemble runs failed: %w", failed, firstErr)
 	}
+	best.Cancelled = anyCancelled
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -60,9 +61,12 @@ func newSearch(g *graph.Graph, k int, opt Options) *search {
 }
 
 // afterEvent updates the incumbents and the trace from the current state.
+// The first state seen is always recorded, even at infinite energy (e.g.
+// K = n, where every exactly-K molecule is all singletons and Mcut/Ncut
+// diverge) — a nil incumbent must never survive a visit to a valid state.
 func (s *search) afterEvent(start time.Time) {
 	e := s.energy.energy(s.cur)
-	if e < s.bestOverallE {
+	if s.bestOverall == nil || e < s.bestOverallE {
 		s.bestOverallE = e
 		if s.bestOverall == nil {
 			s.bestOverall = s.cur.Clone()
@@ -75,7 +79,7 @@ func (s *search) afterEvent(start time.Time) {
 	if old, ok := s.bestPerK[kNow]; !ok || raw < old {
 		s.bestPerK[kNow] = raw
 	}
-	if kNow == s.k && raw < s.bestAtKE {
+	if kNow == s.k && (s.bestAtK == nil || raw < s.bestAtKE) {
 		s.bestAtKE = raw
 		if s.bestAtK == nil {
 			s.bestAtK = s.cur.Clone()
@@ -89,15 +93,24 @@ func (s *search) afterEvent(start time.Time) {
 // initialize is Algorithm 2: the run starts from the molecule in which every
 // vertex is its own atom (maximal energy) and fusion events — with law-drawn
 // nucleon ejections, but no temperature and no nucleon-induced fission —
-// group the atoms until the target count is reached.
-func (s *search) initialize() {
+// group the atoms until the target count is reached. It reports false if ctx
+// was cancelled before the molecule was fully condensed.
+func (s *search) initialize(ctx context.Context) bool {
 	n := s.g.NumVertices()
 	for v := 0; v < n; v++ {
 		s.cur.Assign(v, v) // atom per vertex
 	}
+	done := ctx.Done()
 	nBar := float64(n) / float64(s.k)
 	maxSteps := 8 * n // generous: each fusion removes an atom
 	for step := 0; step < maxSteps && s.cur.NumParts() > s.k; step++ {
+		if step&63 == 0 {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		atom := chooseAtom(s.cur, s.r)
 		if atom < 0 {
 			break
@@ -133,6 +146,7 @@ func (s *search) initialize() {
 			s.laws.update(lawFusion, msize, eject, s.energy.energy(s.cur) < prevE, s.opt.LawDelta)
 		}
 	}
+	return true
 }
 
 // relaxAtoms runs one pass of nucleon relaxation over the boundary of the

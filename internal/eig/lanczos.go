@@ -1,6 +1,7 @@
 package eig
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +22,10 @@ type LanczosOptions struct {
 	Deflate [][]float64
 	// Seed determines the random start vector.
 	Seed int64
+	// Ctx optionally makes the factorization cancellable: the iteration is
+	// abandoned at the next Lanczos step once Ctx is done and ctx.Err() is
+	// returned. Nil means never cancelled.
+	Ctx context.Context
 }
 
 // SmallestEigenpairs computes the nev smallest eigenpairs of the symmetric
@@ -54,10 +59,17 @@ func SmallestEigenpairs(a Operator, nev int, opt LanczosOptions) (values []float
 		dim = nev
 	}
 	r := rng.New(opt.Seed)
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 
 	for {
-		vals, vecs, resid, runErr := lanczosRun(a, nev, dim, opt.Deflate, r)
+		vals, vecs, resid, runErr := lanczosRun(a, nev, dim, opt.Deflate, r, done)
 		if runErr != nil {
+			if runErr == errCancelled {
+				runErr = opt.Ctx.Err()
+			}
 			return nil, nil, runErr
 		}
 		scaleRef := math.Abs(vals[len(vals)-1])
@@ -74,10 +86,14 @@ func SmallestEigenpairs(a Operator, nev int, opt LanczosOptions) (values []float
 	}
 }
 
+// errCancelled is the internal sentinel lanczosRun reports when the caller's
+// context fired; SmallestEigenpairs maps it to ctx.Err().
+var errCancelled = fmt.Errorf("eig: cancelled")
+
 // lanczosRun performs one full-reorthogonalization Lanczos factorization of
 // dimension at most dim and extracts the nev smallest Ritz pairs. It returns
 // the worst residual among those pairs.
-func lanczosRun(a Operator, nev, dim int, deflate [][]float64, r *rand.Rand) (values []float64, vectors [][]float64, worstResid float64, err error) {
+func lanczosRun(a Operator, nev, dim int, deflate [][]float64, r *rand.Rand, done <-chan struct{}) (values []float64, vectors [][]float64, worstResid float64, err error) {
 	n := a.Dim()
 	v := make([][]float64, 0, dim)
 	alpha := make([]float64, 0, dim)
@@ -89,6 +105,11 @@ func lanczosRun(a Operator, nev, dim int, deflate [][]float64, r *rand.Rand) (va
 
 	w := make([]float64, n)
 	for j := 0; j < dim; j++ {
+		select {
+		case <-done:
+			return nil, nil, 0, errCancelled
+		default:
+		}
 		a.MulVec(w, v[j])
 		if j > 0 {
 			axpy(-beta[j-1], v[j-1], w)

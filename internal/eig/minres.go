@@ -1,6 +1,9 @@
 package eig
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // MinresOptions configures the MINRES solver.
 type MinresOptions struct {
@@ -12,6 +15,10 @@ type MinresOptions struct {
 	// orthogonal complement (b is projected, and every Lanczos vector too).
 	// This keeps nearly-singular shifted Laplacian systems well posed.
 	Deflate [][]float64
+	// Ctx optionally makes the solve cancellable: once Ctx is done the
+	// iteration stops and the current iterate is returned as best effort.
+	// Nil means never cancelled.
+	Ctx context.Context
 }
 
 // Minres solves the symmetric (possibly indefinite) system A x = b with the
@@ -60,7 +67,16 @@ func Minres(a Operator, b, x []float64, opt MinresOptions) (relres float64, iter
 	phiBar := beta1
 	betaK := 0.0 // beta_k couples v_{k-1}, v_k
 
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 	for k := 1; k <= maxIter; k++ {
+		select {
+		case <-done:
+			return math.Abs(phiBar) / beta1, k - 1
+		default:
+		}
 		// Lanczos step: tmp = A v - beta_k v_{k-1}; alpha = v.tmp.
 		a.MulVec(tmp, v)
 		if betaK != 0 {

@@ -1,6 +1,9 @@
 package eig
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // RQIOptions configures Rayleigh Quotient Iteration.
 type RQIOptions struct {
@@ -16,6 +19,11 @@ type RQIOptions struct {
 	// Deflate lists orthonormal vectors excluded from the iteration (the
 	// constant vector for Laplacians, plus any converged eigenvectors).
 	Deflate [][]float64
+	// Ctx optionally makes the iteration cancellable: once Ctx is done the
+	// outer loop (and its inner MINRES solves) stop and the best iterate so
+	// far is returned — callers that need an error must inspect Ctx.Err()
+	// themselves. Nil means never cancelled.
+	Ctx context.Context
 }
 
 // RQI refines the approximate eigenvector x0 of the symmetric operator a
@@ -58,7 +66,16 @@ func RQI(a Operator, x0 []float64, opt RQIOptions) (lambda float64, x []float64,
 	lambda = Dot(x, ax)
 	bestLambda, bestX, bestRes := lambda, append([]float64(nil), x...), residNorm(ax, lambda, x)
 
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 	for k := 1; k <= maxIter; k++ {
+		select {
+		case <-done:
+			return bestLambda, bestX, k - 1
+		default:
+		}
 		res := residNorm(ax, lambda, x)
 		if res < bestRes {
 			bestRes = res
@@ -73,6 +90,7 @@ func RQI(a Operator, x0 []float64, opt RQIOptions) (lambda float64, x []float64,
 			Tol:     innerTol,
 			MaxIter: innerMax,
 			Deflate: opt.Deflate,
+			Ctx:     opt.Ctx,
 		})
 		projectOut(y, opt.Deflate)
 		nrm := Norm2(y)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,8 +31,12 @@ type MethodSpec struct {
 	// accept a time budget.
 	Metaheuristic bool
 	// Run produces a k-way partition. For deterministic methods obj and
-	// budget are ignored.
-	Run func(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error)
+	// budget are ignored. Every method honours ctx cooperatively: a
+	// classical method returns ctx.Err() once ctx fires (partial is always
+	// false), a metaheuristic stops and returns its best partition so far
+	// with partial set — the solver's own record of having observed the
+	// cancellation, free of any race against the context timer.
+	Run func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (p *partition.P, partial bool, err error)
 }
 
 // Methods lists the Table 1 rows in the paper's order.
@@ -61,32 +66,41 @@ var Methods = []MethodSpec{
 // work, and the parallel fusion-fission ensemble. They never appear in the
 // Table 1 reproduction, only through the facade and the ablation benches.
 var ExtensionMethods = []MethodSpec{
-	{Name: "Random", Run: func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, error) {
-		return linear.Random(g, k, seed)
+	{Name: "Random", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		p, err := linear.Random(g, k, seed)
+		return p, false, err
 	}},
-	{Name: "Scattered", Run: func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, error) {
-		return linear.Scattered(g, k)
+	{Name: "Scattered", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, bool, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		p, err := linear.Scattered(g, k)
+		return p, false, err
 	}},
-	{Name: "Multilevel (KWay)", Run: func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, error) {
-		return multilevel.PartitionKWay(g, k, multilevel.Options{Seed: seed})
+	{Name: "Multilevel (KWay)", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+		p, err := multilevel.PartitionKWayContext(ctx, g, k, multilevel.Options{Seed: seed})
+		return p, false, err
 	}},
-	{Name: "Genetic algorithm", Metaheuristic: true, Run: func(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error) {
-		res, err := genetic.Partition(g, k, genetic.Options{
+	{Name: "Genetic algorithm", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+		res, err := genetic.PartitionContext(ctx, g, k, genetic.Options{
 			Objective: obj, Budget: budget, Generations: stepsOr(steps, 100_000), Seed: seed,
 		})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return res.Best, nil
+		return res.Best, res.Cancelled, nil
 	}},
-	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error) {
-		res, err := core.Ensemble(g, k, core.EnsembleOptions{Base: core.Options{
+	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+		res, err := core.EnsembleContext(ctx, g, k, core.EnsembleOptions{Base: core.Options{
 			Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
 		}})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return res.Best, nil
+		return res.Best, res.Cancelled, nil
 	}},
 }
 
@@ -106,56 +120,60 @@ func MethodByName(name string) (MethodSpec, error) {
 	return MethodSpec{}, fmt.Errorf("experiments: unknown method %q", name)
 }
 
-func runLinear(arity int, kl bool) func(*graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, error) {
-	return func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, error) {
-		return linear.Partition(g, k, linear.Options{Arity: arity, KL: kl})
+func runLinear(arity int, kl bool) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, bool, error) {
+		p, err := linear.PartitionContext(ctx, g, k, linear.Options{Arity: arity, KL: kl})
+		return p, false, err
 	}
 }
 
-func runSpectral(solver spectral.Solver, arity int, kl bool) func(*graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, error) {
-	return func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, error) {
-		return spectral.Partition(g, k, spectral.Options{Solver: solver, Arity: arity, KL: kl, Seed: seed})
+func runSpectral(solver spectral.Solver, arity int, kl bool) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+		p, err := spectral.PartitionContext(ctx, g, k, spectral.Options{Solver: solver, Arity: arity, KL: kl, Seed: seed})
+		return p, false, err
 	}
 }
 
-func runMultilevel(arity int) func(*graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, error) {
-	return func(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, error) {
-		return multilevel.Partition(g, k, multilevel.Options{Arity: arity, Seed: seed})
+func runMultilevel(arity int) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+		p, err := multilevel.PartitionContext(ctx, g, k, multilevel.Options{Arity: arity, Seed: seed})
+		return p, false, err
 	}
 }
 
-func runPercolation(g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, error) {
-	return percolation.Partition(g, k, percolation.Options{Seed: seed})
+func runPercolation(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+	p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: seed})
+	return p, false, err
 }
 
-func runAnneal(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error) {
-	res, err := anneal.Partition(g, k, anneal.Options{
+func runAnneal(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+	res, err := anneal.PartitionContext(ctx, g, k, anneal.Options{
 		Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return res.Best, nil
+	return res.Best, res.Cancelled, nil
 }
 
-func runAntColony(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error) {
-	res, err := antcolony.Partition(g, k, antcolony.Options{
+func runAntColony(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+	res, err := antcolony.PartitionContext(ctx, g, k, antcolony.Options{
 		Objective: obj, Budget: budget, Iterations: stepsOr(steps, 1_000_000), Seed: seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return res.Best, nil
+	return res.Best, res.Cancelled, nil
 }
 
-func runFusionFission(g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, error) {
-	res, err := core.Partition(g, k, core.Options{
+func runFusionFission(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+	res, err := core.PartitionContext(ctx, g, k, core.Options{
 		Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return res.Best, nil
+	return res.Best, res.Cancelled, nil
 }
 
 func stepsOr(steps, def int) int {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -92,7 +93,7 @@ func RunVariance(g *graph.Graph, opt VarianceOptions) ([]VarianceRow, error) {
 					continue
 				}
 				start := time.Now()
-				p, err := spec.Run(g, opt.K, opt.Objective, opt.Budget, 0, j.seed)
+				p, _, err := spec.Run(context.Background(), g, opt.K, opt.Objective, opt.Budget, 0, j.seed)
 				if err != nil {
 					results <- outcome{method: j.method, err: err}
 					continue

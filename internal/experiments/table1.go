@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -49,7 +50,7 @@ func Table1(g *graph.Graph, opt Table1Options) []Table1Row {
 		row := Table1Row{Name: m.Name}
 		start := time.Now()
 		if !m.Metaheuristic {
-			p, err := m.Run(g, opt.K, objective.MCut, 0, 0, opt.Seed)
+			p, _, err := m.Run(context.Background(), g, opt.K, objective.MCut, 0, 0, opt.Seed)
 			if err != nil {
 				row.Err = err.Error()
 			} else {
@@ -57,7 +58,7 @@ func Table1(g *graph.Graph, opt Table1Options) []Table1Row {
 			}
 		} else {
 			for _, obj := range objective.All {
-				p, err := m.Run(g, opt.K, obj, opt.MetaBudget, opt.MetaSteps, opt.Seed)
+				p, _, err := m.Run(context.Background(), g, opt.K, obj, opt.MetaBudget, opt.MetaSteps, opt.Seed)
 				if err != nil {
 					row.Err = err.Error()
 					break

@@ -7,6 +7,7 @@
 package genetic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -68,6 +69,9 @@ type Result struct {
 	Best        *partition.P
 	Energy      float64
 	Generations int
+	// Cancelled reports that the run was interrupted by context
+	// cancellation and Best is the best individual found so far.
+	Cancelled bool
 }
 
 type individual struct {
@@ -77,10 +81,22 @@ type individual struct {
 
 // Partition evolves a k-way partition of g.
 func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the
+// evolution loop polls ctx per generation and per child alongside its budget
+// check and, once ctx fires, returns the best individual so far with
+// Result.Cancelled set. A context that is done before any population exists
+// yields (nil, ctx.Err()).
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	if k < 2 || k > n {
 		return nil, fmt.Errorf("genetic: k=%d out of range [2,%d]", k, n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	r := rng.New(opt.Seed)
 	eps := 1e-6 * (2 * g.TotalEdgeWeight() / float64(n))
@@ -96,11 +112,16 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 	// random assignments for diversity.
 	pop := make([]individual, 0, opt.Population)
 	for i := 0; len(pop) < opt.Population; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var assign []int32
 		if i%2 == 0 {
-			p, err := percolation.Partition(g, k, percolation.Options{Seed: opt.Seed + int64(i)})
+			p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: opt.Seed + int64(i)})
 			if err == nil {
 				assign = p.Assignment()
+			} else if ctx.Err() != nil {
+				return nil, ctx.Err()
 			}
 		}
 		if assign == nil {
@@ -112,7 +133,9 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 
 	start := time.Now()
 	gen := 0
-	for ; gen < opt.Generations; gen++ {
+	cancelled := false
+	done := ctx.Done()
+	for ; gen < opt.Generations && !cancelled; gen++ {
 		if opt.Budget > 0 && time.Since(start) > opt.Budget {
 			break
 		}
@@ -121,6 +144,14 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 			next = append(next, pop[e])
 		}
 		for len(next) < opt.Population {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
 			pa := tournament(pop, opt.TournamentSize, r)
 			pb := tournament(pop, opt.TournamentSize, r)
 			child := crossover(pa.assign, pb.assign, k, r)
@@ -129,12 +160,17 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 			if !opt.DisableLocalSearch {
 				if p, err := partition.FromAssignment(g, child, k); err == nil {
 					refine.KWay(p, refine.KWayOptions{
-						Objective: opt.Objective, MaxPasses: 1, Imbalance: 0.5,
+						Objective: opt.Objective, MaxPasses: 1, Imbalance: 0.5, Ctx: ctx,
 					})
 					child = p.Assignment()
 				}
 			}
 			next = append(next, individual{assign: child, fitness: fitnessOf(child)})
+		}
+		if cancelled {
+			// Keep the last fully-evaluated generation: pop is sorted and
+			// pop[0] is the best individual seen (elitism preserves it).
+			break
 		}
 		pop = next
 		sortPop(pop)
@@ -148,6 +184,7 @@ func Partition(g *graph.Graph, k int, opt Options) (*Result, error) {
 		Best:        best,
 		Energy:      opt.Objective.Evaluate(best),
 		Generations: gen,
+		Cancelled:   cancelled,
 	}, nil
 }
 

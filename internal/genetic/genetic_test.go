@@ -1,6 +1,8 @@
 package genetic
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -127,5 +129,36 @@ func TestGAErrors(t *testing.T) {
 	}
 	if _, err := Partition(g, 6, Options{}); err == nil {
 		t.Fatal("k>n accepted")
+	}
+}
+
+func TestPartitionContextCancelReturnsBestSoFar(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := PartitionContext(ctx, g, 4, Options{
+		Seed: 3, Budget: time.Minute, Generations: 1 << 30,
+	})
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("returned %v after a 60ms cancel", elapsed)
+	}
+	if err != nil {
+		// Cancelled during population initialization: acceptable, but it
+		// must be the context error.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatal(err)
+		}
+		return
+	}
+	if !res.Cancelled {
+		t.Fatal("interrupted run not marked Cancelled")
+	}
+	if res.Best == nil || res.Best.NumParts() != 4 {
+		t.Fatalf("best-so-far invalid: %+v", res.Best)
 	}
 }

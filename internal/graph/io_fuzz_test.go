@@ -12,34 +12,34 @@ import (
 // round-trip.
 func FuzzReadMETIS(f *testing.F) {
 	seeds := []string{
-		"",                      // empty input
-		"4 4\n2 4\n1 3\n2 4\n3 1\n",     // plain 4-ring
+		"",                                       // empty input
+		"4 4\n2 4\n1 3\n2 4\n3 1\n",              // plain 4-ring
 		"% comment\n\n4 4\n2 4\n1 3\n2 4\n3 1\n", // comments and blanks
 		"4 4 011\n2 2 4 1\n3 1 1 2\n2 2 4 3\n3 3 1 1\n", // vertex + edge weights
 		"4 4 001\n2 1 4 1\n1 1 3 1\n2 1 4 1\n3 1 1 1\n", // edge weights only
 		"4 4 010\n1 2 4\n2 1 3\n1 2 4\n2 3 1\n",         // vertex weights only
 		"4 4 100\n2 4\n1 3\n2 4\n3 1\n",                 // vertex sizes: unsupported
-		"x y\n",                 // non-numeric header
-		"2 1\n2\n\n",            // asymmetric: only one endpoint lists the edge
-		"2 1\n2 1\n",            // stray token parsed as weightless neighbor
-		"2 1 001\n2\n1\n",       // missing edge weight
-		"2 1 001\n2 2\n1 3\n",   // edge listed with two different weights
-		"3 9 011\n",             // header promises more than the body holds
-		"1 0\n\n",               // single vertex, no edges
-		"2 1\n2 0.5\n1 0.5\n",   // float where a neighbor index belongs
-		"5 2\n2\n1 3\n2\n5\n4\n", // disconnected
-		"2 1\n3\n1\n",           // neighbor index out of range
-		"2 1\n-1\n1\n",          // negative neighbor index
-		"2 1\n1\n2\n",           // self-loop via 1-indexing confusion
-		"4 2\n2 4\n1 3\n2 4\n3 1\n", // header edge count disagrees
-		"1000000000 0\n",        // huge vertex count, no body: must fail fast
-		"-1 0\n",                // negative vertex count
-		"2 -1\n\n\n",            // negative edge count
-		"3000000000 0\n",        // vertex count beyond int32
-		"2 1 001\n2 NaN\n1 NaN\n", // NaN edge weight
-		"2 2\n2 2\n1 1\n",       // edge listed four times
-		"2 1\n2 2\n\n",          // one endpoint lists the edge twice, other never
-		"3 2\n2 2\n1 1 3\n2\n",  // repeated mention hiding among valid edges
+		"x y\n",                                         // non-numeric header
+		"2 1\n2\n\n",                                    // asymmetric: only one endpoint lists the edge
+		"2 1\n2 1\n",                                    // stray token parsed as weightless neighbor
+		"2 1 001\n2\n1\n",                               // missing edge weight
+		"2 1 001\n2 2\n1 3\n",                           // edge listed with two different weights
+		"3 9 011\n",                                     // header promises more than the body holds
+		"1 0\n\n",                                       // single vertex, no edges
+		"2 1\n2 0.5\n1 0.5\n",                           // float where a neighbor index belongs
+		"5 2\n2\n1 3\n2\n5\n4\n",                        // disconnected
+		"2 1\n3\n1\n",                                   // neighbor index out of range
+		"2 1\n-1\n1\n",                                  // negative neighbor index
+		"2 1\n1\n2\n",                                   // self-loop via 1-indexing confusion
+		"4 2\n2 4\n1 3\n2 4\n3 1\n",                     // header edge count disagrees
+		"1000000000 0\n",                                // huge vertex count, no body: must fail fast
+		"-1 0\n",                                        // negative vertex count
+		"2 -1\n\n\n",                                    // negative edge count
+		"3000000000 0\n",                                // vertex count beyond int32
+		"2 1 001\n2 NaN\n1 NaN\n",                       // NaN edge weight
+		"2 2\n2 2\n1 1\n",                               // edge listed four times
+		"2 1\n2 2\n\n",                                  // one endpoint lists the edge twice, other never
+		"3 2\n2 2\n1 1 3\n2\n",                          // repeated mention hiding among valid edges
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -6,6 +6,7 @@
 package linear
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -28,6 +29,13 @@ type Options struct {
 // Partition cuts g into k parts. The returned partition uses part ids
 // 0..k-1. k must be in [1, n].
 func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the
+// recursive splits and their KL refinement poll ctx, and the call returns
+// ctx.Err() once it fires. No partial partition is returned.
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	n := g.NumVertices()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("linear: k=%d out of range [1,%d]", k, n)
@@ -38,19 +46,29 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	if opt.Arity < 2 {
 		return nil, fmt.Errorf("linear: arity must be >= 2, got %d", opt.Arity)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	assign := make([]int32, n)
 	verts := make([]int32, n)
 	for v := range verts {
 		verts[v] = int32(v)
 	}
 	nextPart := int32(0)
-	split(g, verts, k, opt, assign, &nextPart)
+	split(ctx, g, verts, k, opt, assign, &nextPart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return partition.FromAssignment(g, assign, k)
 }
 
 // split recursively partitions the index-ordered vertex list into kNode
-// parts, writing final part ids into assign.
-func split(g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) {
+// parts, writing final part ids into assign. It unwinds without finishing
+// the assignment once ctx is cancelled; the caller must check ctx.Err().
+func split(ctx context.Context, g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) {
+	if ctx.Err() != nil {
+		return
+	}
 	if kNode == 1 {
 		id := *nextPart
 		*nextPart++
@@ -114,10 +132,10 @@ func split(g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32
 					w0 += g.VertexWeight(int(verts[i]))
 				}
 			}
-			refine.KL(sub.G, side, refine.BisectOptions{TargetWeight0: w0, Imbalance: opt.Imbalance})
+			refine.KL(sub.G, side, refine.BisectOptions{TargetWeight0: w0, Imbalance: opt.Imbalance, Ctx: ctx})
 			copy(local, side)
 		} else {
-			refine.PairwiseKL(sub.G, local, groups, refine.BisectOptions{Imbalance: opt.Imbalance})
+			refine.PairwiseKL(sub.G, local, groups, refine.BisectOptions{Imbalance: opt.Imbalance, Ctx: ctx})
 		}
 		// Rebuild group membership after refinement.
 		chunkOf = make([][]int32, groups)
@@ -136,6 +154,6 @@ func split(g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32
 			*nextPart += int32(kPer[gi])
 			continue
 		}
-		split(g, chunkOf[gi], kPer[gi], opt, assign, nextPart)
+		split(ctx, g, chunkOf[gi], kPer[gi], opt, assign, nextPart)
 	}
 }

@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -17,6 +18,13 @@ import (
 // recursive method's per-split optimality for a single global view — and is
 // provided as an extension for comparison in the ablation benches.
 func PartitionKWay(g *graph.Graph, k int, opt Options) (*partition.P, error) {
+	return PartitionKWayContext(context.Background(), g, k, opt)
+}
+
+// PartitionKWayContext is PartitionKWay under cooperative cancellation: the
+// coarse spectral solve and each uncoarsening level poll ctx, and the call
+// returns ctx.Err() once it fires. No partial partition is returned.
+func PartitionKWayContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	n := g.NumVertices()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("multilevel: k=%d out of range [1,%d]", k, n)
@@ -39,12 +47,15 @@ func PartitionKWay(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	if kc > coarsest.NumVertices() {
 		kc = coarsest.NumVertices()
 	}
-	coarseP, err := spectral.Partition(coarsest, kc, spectral.Options{Seed: opt.Seed})
+	coarseP, err := spectral.PartitionContext(ctx, coarsest, kc, spectral.Options{Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}
 	local := coarseP.Assignment()
 	for li := len(ladder) - 1; li >= 0; li-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fine := g
 		if li > 0 {
 			fine = ladder[li-1].G
@@ -65,8 +76,12 @@ func PartitionKWay(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 			Objective: objective.Cut,
 			Imbalance: opt.Imbalance + 0.10,
 			MaxPasses: 4,
+			Ctx:       ctx,
 		})
 		local = p.Assignment()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p, err := partition.FromAssignment(g, local, k)
 	if err != nil {

@@ -7,6 +7,7 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -34,6 +35,14 @@ type Options struct {
 
 // Partition cuts g into k parts with the multilevel method.
 func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: each
+// coarsening/uncoarsening level, the coarse eigensolves and the per-level
+// refinement poll ctx, and the call returns ctx.Err() once it fires. No
+// partial partition is returned.
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	n := g.NumVertices()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("multilevel: k=%d out of range [1,%d]", k, n)
@@ -50,19 +59,25 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 			opt.CoarsenTo = 4 * opt.Arity
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	assign := make([]int32, n)
 	verts := make([]int32, n)
 	for v := range verts {
 		verts[v] = int32(v)
 	}
 	nextPart := int32(0)
-	if err := splitRec(g, verts, k, opt, assign, &nextPart); err != nil {
+	if err := splitRec(ctx, g, verts, k, opt, assign, &nextPart); err != nil {
 		return nil, err
 	}
 	return partition.FromAssignment(g, assign, k)
 }
 
-func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) error {
+func splitRec(ctx context.Context, g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if kNode == 1 {
 		id := *nextPart
 		*nextPart++
@@ -87,7 +102,7 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 	}
 
 	sub := graph.Induced(g, verts)
-	local, err := splitMultilevel(sub.G, kPer, opt)
+	local, err := splitMultilevel(ctx, sub.G, kPer, opt)
 	if err != nil {
 		return err
 	}
@@ -105,7 +120,7 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 			*nextPart += int32(kPer[gi] - len(chunkOf[gi]))
 			kgi = len(chunkOf[gi])
 		}
-		if err := splitRec(g, chunkOf[gi], kgi, opt, assign, nextPart); err != nil {
+		if err := splitRec(ctx, g, chunkOf[gi], kgi, opt, assign, nextPart); err != nil {
 			return err
 		}
 	}
@@ -115,13 +130,13 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 // splitMultilevel performs one multilevel V-cycle on g: coarsen, split the
 // coarsest graph spectrally into len(kPer) groups, then project back with
 // per-level refinement.
-func splitMultilevel(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
+func splitMultilevel(ctx context.Context, g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 	ladder := CoarsenHEM(g, opt.CoarsenTo, opt.Seed)
 	coarsest := g
 	if len(ladder) > 0 {
 		coarsest = ladder[len(ladder)-1].G
 	}
-	local, err := spectral.SplitGraph(coarsest, kPer, spectral.Options{
+	local, err := spectral.SplitGraphContext(ctx, coarsest, kPer, spectral.Options{
 		Solver: spectral.Lanczos,
 		Seed:   opt.Seed,
 	})
@@ -129,10 +144,13 @@ func splitMultilevel(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 		return nil, err
 	}
 	if !opt.DisableRefine {
-		refineLevel(coarsest, local, kPer, opt)
+		refineLevel(ctx, coarsest, local, kPer, opt)
 	}
 	// Uncoarsen: project through each level, refining as we go.
 	for li := len(ladder) - 1; li >= 0; li-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var fine *graph.Graph
 		if li == 0 {
 			fine = g
@@ -145,7 +163,7 @@ func splitMultilevel(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 		}
 		local = projected
 		if !opt.DisableRefine {
-			refineLevel(fine, local, kPer, opt)
+			refineLevel(ctx, fine, local, kPer, opt)
 		}
 	}
 	return local, nil
@@ -153,7 +171,7 @@ func splitMultilevel(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 
 // refineLevel applies the appropriate local refinement for the group count:
 // FM for bisections (cheap, Chaco-style), greedy k-way for multiway splits.
-func refineLevel(g *graph.Graph, local []int32, kPer []int, opt Options) {
+func refineLevel(ctx context.Context, g *graph.Graph, local []int32, kPer []int, opt Options) {
 	groups := len(kPer)
 	kNode := 0
 	for _, kp := range kPer {
@@ -164,6 +182,7 @@ func refineLevel(g *graph.Graph, local []int32, kPer []int, opt Options) {
 		refine.FM(g, local, refine.BisectOptions{
 			TargetWeight0: target0,
 			Imbalance:     opt.Imbalance,
+			Ctx:           ctx,
 		})
 		return
 	}
@@ -175,6 +194,7 @@ func refineLevel(g *graph.Graph, local []int32, kPer []int, opt Options) {
 		Objective: objective.Cut,
 		Imbalance: opt.Imbalance + 0.10,
 		MaxPasses: 4,
+		Ctx:       ctx,
 	})
 	copy(local, p.Assignment())
 }

@@ -28,6 +28,7 @@ package percolation
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -55,6 +56,13 @@ type Options struct {
 
 // Partition colors g with k liquids and returns the resulting partition.
 func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the growth
+// phases, fixed-point rounds and boundary refinement poll ctx and the call
+// returns ctx.Err() once it fires. No partial partition is returned.
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	n := g.NumVertices()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("percolation: k=%d out of range [1,%d]", k, n)
@@ -90,6 +98,10 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 		seen[s] = true
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	maxRounds := opt.MaxRounds
 	logHalfMean := logDamping(g)
 
@@ -99,7 +111,10 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	// filled its share stops until the volume caps are lifted. Without the
 	// caps one liquid follows the heavy corridors across the whole map and
 	// the rounds below can only erode it a frontier layer at a time.
-	color, _ := balancedGrowth(g, seeds, logHalfMean)
+	color, _ := balancedGrowth(ctx, g, seeds, logHalfMean)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2 — the paper's fixed-point rounds: recompute every liquid's
 	// bonds over its current territory and reassign each vertex to the
@@ -120,6 +135,9 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 		}
 	}
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < k; i++ {
 			propagate(g, seeds[i], int32(i), color, false, logHalfMean, bonds[i])
 		}
@@ -173,8 +191,11 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	// boundary pass lets the border relax onto weak edges, which is where
 	// any liquid interface settles physically.
 	refine.KWay(p, refine.KWayOptions{
-		Objective: objective.Cut, MaxPasses: 2, Imbalance: 0.25,
+		Objective: objective.Cut, MaxPasses: 2, Imbalance: 0.25, Ctx: ctx,
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Last: guarantee every region an internal edge so Ncut/Mcut stay
 	// finite (the boundary pass may strip a region back to a star), and let
 	// severely starved regions (interface weight far above their interior)
@@ -221,7 +242,8 @@ func growSingletons(p *partition.P) {
 // from flooding the map along heavy corridors; later phases only run if
 // vertices remain unclaimed. Returns the coloring and each claimed vertex's
 // log-domain bond.
-func balancedGrowth(g *graph.Graph, seeds []int, logHalfMean float64) ([]int32, []float64) {
+func balancedGrowth(ctx context.Context, g *graph.Graph, seeds []int, logHalfMean float64) ([]int32, []float64) {
+	done := ctx.Done()
 	n := g.NumVertices()
 	k := len(seeds)
 	color := make([]int32, n)
@@ -241,6 +263,7 @@ func balancedGrowth(g *graph.Graph, seeds []int, logHalfMean float64) ([]int32, 
 	}
 
 	phases := []float64{1.15, 1.3, 1.5, 1.8, 2.2, 3, 5, math.Inf(1)}
+	pops := 0
 	for _, capFactor := range phases {
 		if claimedTotal >= g.TotalVertexWeight() {
 			break
@@ -267,6 +290,15 @@ func balancedGrowth(g *graph.Graph, seeds []int, logHalfMean float64) ([]int32, 
 			}
 		}
 		for pq.Len() > 0 {
+			// Cancellation abandons the growth mid-flood; the caller
+			// discards the partial coloring and returns ctx.Err().
+			if pops++; pops&4095 == 0 {
+				select {
+				case <-done:
+					return color, bondVal
+				default:
+				}
+			}
 			it := heap.Pop(pq).(growItem)
 			if color[it.v] >= 0 {
 				continue

@@ -11,6 +11,7 @@ package refine
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/graph"
 	"repro/internal/objective"
@@ -28,6 +29,24 @@ type BisectOptions struct {
 	Imbalance float64
 	// MaxPasses bounds the number of improvement passes (default 8).
 	MaxPasses int
+	// Ctx optionally makes the refinement cancellable: once Ctx is done no
+	// further pass starts and the refinement returns with the side array in
+	// a consistent (partially refined) state. Nil means never cancelled.
+	Ctx context.Context
+}
+
+// cancelled reports whether ctx (possibly nil) is done; the refinement loops
+// poll it at pass boundaries so the arrays they mutate stay consistent.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 func (o BisectOptions) withDefaults(g *graph.Graph) BisectOptions {
@@ -98,7 +117,7 @@ func KL(g *graph.Graph, side []int32, opt BisectOptions) float64 {
 	}
 	slack := opt.Imbalance*g.TotalVertexWeight()/2 + heaviest
 
-	for pass := 0; pass < opt.MaxPasses; pass++ {
+	for pass := 0; pass < opt.MaxPasses && !cancelled(opt.Ctx); pass++ {
 		d := dValues(g, side)
 		locked := make([]bool, n)
 		type swap struct{ a, b int }
@@ -109,6 +128,12 @@ func KL(g *graph.Graph, side []int32, opt BisectOptions) float64 {
 
 		pairs := min(countSide(side, 0), countSide(side, 1))
 		for it := 0; it < pairs; it++ {
+			// Each bestSwap scan is itself expensive on large sides, so a
+			// pass polls per swap selection; breaking here falls through to
+			// the rollback below, leaving the side array consistent.
+			if cancelled(opt.Ctx) {
+				break
+			}
 			a, b, gain, ok := bestSwap(g, side, d, locked, passW0, opt.TargetWeight0, slack)
 			if !ok {
 				break
@@ -258,7 +283,7 @@ func FM(g *graph.Graph, side []int32, opt BisectOptions) float64 {
 		weight[side[v]] += g.VertexWeight(v)
 	}
 
-	for pass := 0; pass < opt.MaxPasses; pass++ {
+	for pass := 0; pass < opt.MaxPasses && !cancelled(opt.Ctx); pass++ {
 		d := dValues(g, side)
 		locked := make([]bool, n)
 		stamp := make([]int64, n)
@@ -270,7 +295,14 @@ func FM(g *graph.Graph, side []int32, opt BisectOptions) float64 {
 		var seq []int
 		cum, bestCum, bestLen := 0.0, 0.0, 0
 
+		pops := 0
 		for pq.Len() > 0 {
+			// A pass pops O(n log n) queue entries; poll periodically and
+			// fall through to the rollback so the side array stays
+			// consistent.
+			if pops++; pops&255 == 0 && cancelled(opt.Ctx) {
+				break
+			}
 			it := heap.Pop(pq).(gainItem)
 			if locked[it.v] || it.stamp != stamp[it.v] {
 				continue
@@ -361,6 +393,9 @@ func PairwiseKL(g *graph.Graph, assign []int32, groups int, opt BisectOptions) {
 	})
 	for a := int32(0); a < int32(groups); a++ {
 		for b := a + 1; b < int32(groups); b++ {
+			if cancelled(opt.Ctx) {
+				return
+			}
 			if !adjacent[[2]int32{a, b}] {
 				continue
 			}
@@ -443,6 +478,9 @@ type KWayOptions struct {
 	Imbalance float64
 	// MaxPasses bounds the number of sweeps (default 6).
 	MaxPasses int
+	// Ctx optionally makes the refinement cancellable at sweep boundaries.
+	// Nil means never cancelled.
+	Ctx context.Context
 }
 
 // KWay greedily moves boundary vertices to the neighboring part that most
@@ -464,9 +502,14 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 	maxW := g.TotalVertexWeight() / float64(k) * (1 + opt.Imbalance)
 	cur := opt.Objective.Evaluate(p)
 
-	for pass := 0; pass < opt.MaxPasses; pass++ {
+	for pass := 0; pass < opt.MaxPasses && !cancelled(opt.Ctx); pass++ {
 		improved := false
 		for v := 0; v < n; v++ {
+			// Sweeps re-evaluate the objective per candidate move, so a
+			// single pass over a large graph is long; poll mid-pass too.
+			if v&511 == 0 && cancelled(opt.Ctx) {
+				return cur
+			}
 			from := p.Part(v)
 			if p.PartSize(from) <= 1 {
 				continue

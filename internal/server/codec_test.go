@@ -133,17 +133,17 @@ func TestLRUDisabled(t *testing.T) {
 
 func TestDecodeGraphErrors(t *testing.T) {
 	for name, spec := range map[string]GraphSpec{
-		"empty":          {},
-		"both":           {METIS: "1 0\n\n", N: 1},
-		"zero n":         {Edges: [][]float64{{0, 1}}},
-		"bad metis":      {METIS: "not a graph"},
-		"weight len":     {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{1, 2, 3}},
-		"negative vw":    {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{-1, 1}},
-		"fractional":     {N: 2, Edges: [][]float64{{0.5, 1}}},
-		"arity":          {N: 2, Edges: [][]float64{{0, 1, 1, 1}}},
-		"self loop":      {N: 2, Edges: [][]float64{{1, 1}}},
-		"out of range":   {N: 2, Edges: [][]float64{{0, 2}}},
-		"negative idx":   {N: 2, Edges: [][]float64{{-1, 1}}},
+		"empty":        {},
+		"both":         {METIS: "1 0\n\n", N: 1},
+		"zero n":       {Edges: [][]float64{{0, 1}}},
+		"bad metis":    {METIS: "not a graph"},
+		"weight len":   {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{1, 2, 3}},
+		"negative vw":  {N: 2, Edges: [][]float64{{0, 1}}, VertexWeights: []float64{-1, 1}},
+		"fractional":   {N: 2, Edges: [][]float64{{0.5, 1}}},
+		"arity":        {N: 2, Edges: [][]float64{{0, 1, 1, 1}}},
+		"self loop":    {N: 2, Edges: [][]float64{{1, 1}}},
+		"out of range": {N: 2, Edges: [][]float64{{0, 2}}},
+		"negative idx": {N: 2, Edges: [][]float64{{-1, 1}}},
 	} {
 		t.Run(name, func(t *testing.T) {
 			if _, err := decodeGraph(spec); err == nil {

@@ -26,11 +26,15 @@ const (
 var errQueueFull = errors.New("server: job queue full, retry later")
 
 // job is one partition computation moving through the pool. Identical
-// concurrent requests (same cache key) coalesce onto a single job: the
-// computation runs once and every waiter reads the shared outcome.
+// concurrent requests (same cache key and same timeout) coalesce onto a
+// single job: the computation runs once and every waiter reads the shared
+// outcome. The timeout is part of the coalescing identity — not the cache
+// key — because a job's deadline can truncate a metaheuristic to a partial
+// result, which must not be handed to a waiter that asked for longer.
 type job struct {
-	id  string
-	key string // cache key; "" for no_cache jobs, which never coalesce
+	id    string
+	key   string // cache key; "" for no_cache jobs, which never coalesce
+	coKey string // coalescing key: cache key + timeout; "" never coalesces
 
 	g   *graph.Graph
 	opt ff.Options
@@ -95,7 +99,7 @@ type pool struct {
 	closed   bool
 	seq      int64
 	jobs     map[string]*job // by id, finished jobs retained for jobTTL
-	inflight map[string]*job // by cache key, queued or running only
+	inflight map[string]*job // by coalescing key, queued or running only
 	lastGC   time.Time
 	stats    poolStats
 }
@@ -125,8 +129,10 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 		return nil, errors.New("server: shutting down")
 	}
 	p.gcLocked()
+	coKey := ""
 	if key != "" {
-		if j, ok := p.inflight[key]; ok {
+		coKey = fmt.Sprintf("%s|%d", key, timeout)
+		if j, ok := p.inflight[coKey]; ok {
 			j.mu.Lock()
 			j.coalesced++
 			j.mu.Unlock()
@@ -139,6 +145,7 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", p.seq),
 		key:       key,
+		coKey:     coKey,
 		g:         g,
 		opt:       opt,
 		ctx:       ctx,
@@ -154,8 +161,8 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 		return nil, errQueueFull
 	}
 	p.jobs[j.id] = j
-	if key != "" {
-		p.inflight[key] = j
+	if coKey != "" {
+		p.inflight[coKey] = j
 	}
 	p.stats.Submitted++
 	return j, nil
@@ -192,12 +199,12 @@ func (p *pool) cancelJob(id string) (cancelled, found bool) {
 
 // detach removes a finished job from the coalescing index.
 func (p *pool) detach(j *job) {
-	if j.key == "" {
+	if j.coKey == "" {
 		return
 	}
 	p.mu.Lock()
-	if p.inflight[j.key] == j {
-		delete(p.inflight, j.key)
+	if p.inflight[j.coKey] == j {
+		delete(p.inflight, j.coKey)
 	}
 	p.mu.Unlock()
 }
@@ -225,6 +232,10 @@ func (p *pool) run(j *job) {
 	j.status = statusRunning
 	j.mu.Unlock()
 
+	// Cancellation is cooperative all the way down: PartitionContext runs
+	// the solver on this goroutine and the solver itself observes j.ctx, so
+	// a DELETE or an expired deadline returns control (and this worker
+	// slot) promptly — nothing keeps computing in the background.
 	res, err := ff.PartitionContext(j.ctx, j.g, j.opt)
 	j.cancel()
 	if err != nil {
@@ -246,7 +257,10 @@ func (p *pool) run(j *job) {
 		return
 	}
 	if j.finish(statusDone, res, nil) {
-		if j.key != "" {
+		// A metaheuristic interrupted by the deadline returns its best
+		// partition so far; serve it to the waiters but never cache it —
+		// a repeat of the request deserves the full budget.
+		if j.key != "" && !res.Cancelled {
 			p.cache.add(j.key, res)
 		}
 		p.detach(j)

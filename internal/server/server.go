@@ -8,8 +8,9 @@
 //	GET    /healthz        liveness + pool/cache statistics
 //
 // Requests run on a bounded worker pool with a per-job deadline covering
-// queue wait plus execution. Identical concurrent requests coalesce onto a
-// single computation, and finished results are served from an LRU cache
+// queue wait plus execution. Identical concurrent requests (same cache key
+// and same timeout — a shorter deadline could truncate the shared run) are
+// coalesced onto a single computation, and finished results are served from an LRU cache
 // keyed by (graph content hash, method, K, objective, seed, work caps) —
 // with deterministic seeds, a repeat query never recomputes.
 package server

@@ -14,6 +14,7 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -65,6 +66,15 @@ type Options struct {
 
 // Partition cuts g into k parts by recursive spectral splitting.
 func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
+	return PartitionContext(context.Background(), g, k, opt)
+}
+
+// PartitionContext is Partition under cooperative cancellation: the
+// eigensolver iterations (Lanczos steps, RQI outer iterations and their
+// MINRES inner solves), the recursive splits and the KL refinement all poll
+// ctx, and the call returns ctx.Err() once it fires. No partial partition is
+// returned.
+func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	n := g.NumVertices()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("spectral: k=%d out of range [1,%d]", k, n)
@@ -75,19 +85,25 @@ func Partition(g *graph.Graph, k int, opt Options) (*partition.P, error) {
 	if opt.Arity != 2 && opt.Arity != 4 && opt.Arity != 8 {
 		return nil, fmt.Errorf("spectral: arity must be 2, 4 or 8, got %d", opt.Arity)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	assign := make([]int32, n)
 	verts := make([]int32, n)
 	for v := range verts {
 		verts[v] = int32(v)
 	}
 	nextPart := int32(0)
-	if err := splitRec(g, verts, k, opt, assign, &nextPart); err != nil {
+	if err := splitRec(ctx, g, verts, k, opt, assign, &nextPart); err != nil {
 		return nil, err
 	}
 	return partition.FromAssignment(g, assign, k)
 }
 
-func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) error {
+func splitRec(ctx context.Context, g *graph.Graph, verts []int32, kNode int, opt Options, assign []int32, nextPart *int32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if kNode == 1 {
 		id := *nextPart
 		*nextPart++
@@ -112,16 +128,16 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 	}
 
 	sub := graph.Induced(g, verts)
-	local, err := SplitGraph(sub.G, kPer, opt)
+	local, err := SplitGraphContext(ctx, sub.G, kPer, opt)
 	if err != nil {
 		return err
 	}
 	if opt.KL {
 		if groups == 2 {
 			w0target := sub.G.TotalVertexWeight() * float64(kPer[0]) / float64(kNode)
-			refine.KL(sub.G, local, refine.BisectOptions{TargetWeight0: w0target, Imbalance: opt.Imbalance})
+			refine.KL(sub.G, local, refine.BisectOptions{TargetWeight0: w0target, Imbalance: opt.Imbalance, Ctx: ctx})
 		} else {
-			refine.PairwiseKL(sub.G, local, groups, refine.BisectOptions{Imbalance: opt.Imbalance})
+			refine.PairwiseKL(sub.G, local, groups, refine.BisectOptions{Imbalance: opt.Imbalance, Ctx: ctx})
 		}
 	}
 
@@ -140,7 +156,7 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 			// Allocate the ids we cannot fill so numbering stays dense.
 			*nextPart += int32(kPer[gi] - kgi)
 		}
-		if err := splitRec(g, chunkOf[gi], kgi, opt, assign, nextPart); err != nil {
+		if err := splitRec(ctx, g, chunkOf[gi], kgi, opt, assign, nextPart); err != nil {
 			return err
 		}
 	}
@@ -152,6 +168,12 @@ func splitRec(g *graph.Graph, verts []int32, kNode int, opt Options, assign []in
 // returns the group of each vertex. Exposed for the multilevel method, which
 // uses it as its coarse-graph solver.
 func SplitGraph(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
+	return SplitGraphContext(context.Background(), g, kPer, opt)
+}
+
+// SplitGraphContext is SplitGraph under cooperative cancellation; it returns
+// ctx.Err() once ctx fires during the eigensolves.
+func SplitGraphContext(ctx context.Context, g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 	n := g.NumVertices()
 	groups := len(kPer)
 	local := make([]int32, n)
@@ -175,7 +197,7 @@ func SplitGraph(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 		}
 		return local, nil
 	}
-	vecs, err := fiedlerVectors(g, dims, opt)
+	vecs, err := fiedlerVectors(ctx, g, dims, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +268,7 @@ func SplitGraph(g *graph.Graph, kPer []int, opt Options) ([]int32, error) {
 
 // fiedlerVectors returns the `dims` smallest non-trivial eigenvectors of the
 // (possibly normalized) Laplacian of g, using the configured backend.
-func fiedlerVectors(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
+func fiedlerVectors(ctx context.Context, g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 	n := g.NumVertices()
 	var op eig.Operator
 	if opt.Normalized {
@@ -263,7 +285,7 @@ func fiedlerVectors(g *graph.Graph, dims int, opt Options) ([][]float64, error) 
 	switch opt.Solver {
 	case RQI:
 		if !opt.Normalized {
-			return multilevelRQI(g, dims, opt)
+			return multilevelRQI(ctx, g, dims, opt)
 		}
 		// Normalized Laplacians do not commute with matching contraction;
 		// fall back to a rich Lanczos start polished by RQI.
@@ -276,14 +298,19 @@ func fiedlerVectors(g *graph.Graph, dims int, opt Options) ([][]float64, error) 
 			Tol:     0.3,
 			Deflate: deflate,
 			Seed:    opt.Seed + 1,
+			Ctx:     ctx,
 		})
 		if err != nil {
 			return nil, err
 		}
 		vecs := make([][]float64, 0, dims)
 		for d := 0; d < dims; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			_, x, _ := eig.RQI(op, rough[d], eig.RQIOptions{
 				Deflate: append(append([][]float64{}, deflate...), vecs...),
+				Ctx:     ctx,
 			})
 			vecs = append(vecs, x)
 		}
@@ -293,6 +320,7 @@ func fiedlerVectors(g *graph.Graph, dims int, opt Options) ([][]float64, error) 
 			Deflate: deflate,
 			Seed:    opt.Seed + 1,
 			Tol:     1e-7,
+			Ctx:     ctx,
 		})
 		return vecs, err
 	}
@@ -305,7 +333,7 @@ func fiedlerVectors(g *graph.Graph, dims int, opt Options) ([][]float64, error) 
 // at every level. The interpolated start is close to the wanted
 // eigenvector, which is what keeps RQI locked onto the Fiedler (and
 // next-lowest) eigenvectors rather than an arbitrary eigenpair.
-func multilevelRQI(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
+func multilevelRQI(ctx context.Context, g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 	minSize := 12 * dims
 	if minSize < 40 {
 		minSize = 40
@@ -323,6 +351,7 @@ func multilevelRQI(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 		Deflate: [][]float64{eig.ConstantVector(coarsest.NumVertices())},
 		Seed:    opt.Seed + 1,
 		Tol:     1e-8,
+		Ctx:     ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +366,9 @@ func multilevelRQI(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 		deflate := [][]float64{eig.ConstantVector(nf)}
 		polished := make([][]float64, 0, len(vecs))
 		for _, coarseVec := range vecs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			x := make([]float64, nf)
 			for v := 0; v < nf; v++ {
 				x[v] = coarseVec[ladder[li].Map[v]]
@@ -344,6 +376,7 @@ func multilevelRQI(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 			_, px, _ := eig.RQI(op, x, eig.RQIOptions{
 				Deflate: append(append([][]float64{}, deflate...), polished...),
 				Tol:     1e-8,
+				Ctx:     ctx,
 			})
 			polished = append(polished, px)
 		}
@@ -356,6 +389,7 @@ func multilevelRQI(g *graph.Graph, dims int, opt Options) ([][]float64, error) {
 			Deflate: [][]float64{eig.ConstantVector(g.NumVertices())},
 			Seed:    opt.Seed + 2,
 			Tol:     1e-7,
+			Ctx:     ctx,
 		})
 		if err != nil {
 			return nil, err
