@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/airspace"
@@ -36,6 +37,7 @@ func main() {
 		k      = fs.Int("k", 32, "number of parts")
 		seed   = fs.Int64("seed", 1, "random seed")
 		budget = fs.Duration("budget", 0, "metaheuristic budget (0 = command default)")
+		par    = fs.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
 		scale  = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -49,13 +51,17 @@ func main() {
 	fmt.Printf("instance: %d sectors, %d flow edges, total flow weight %.0f; k = %d, seed = %d\n\n",
 		g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight(), *k, *seed)
 
+	parallelism := *par
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	switch cmd {
 	case "table1":
 		b := *budget
 		if b == 0 {
 			b = 10 * time.Second
 		}
-		rows := experiments.Table1(g, experiments.Table1Options{K: *k, Seed: *seed, MetaBudget: b})
+		rows := experiments.Table1(g, experiments.Table1Options{K: *k, Seed: *seed, MetaBudget: b, Parallelism: parallelism})
 		fmt.Println("Table 1 — comparisons between algorithms (metaheuristic budget", b, "per objective)")
 		fmt.Print(experiments.FormatTable1(rows))
 	case "figure1":
@@ -80,8 +86,14 @@ func main() {
 		if b == 0 {
 			b = 2 * time.Second
 		}
+		// Keep Workers x Parallelism near the core count, or contention
+		// corrupts the per-run timing and budget-bound quality numbers.
+		outer := runtime.GOMAXPROCS(0) / parallelism
+		if outer < 1 {
+			outer = 1
+		}
 		rows, err := experiments.RunVariance(g, experiments.VarianceOptions{
-			K: *k, Budget: b, Objective: objective.MCut,
+			K: *k, Budget: b, Objective: objective.MCut, Parallelism: parallelism, Workers: outer,
 		})
 		if err != nil {
 			fatal(err)

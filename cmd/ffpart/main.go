@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +36,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		budget    = flag.Duration("budget", 2*time.Second, "time budget for metaheuristics")
 		steps     = flag.Int("steps", 0, "optional step cap for metaheuristics (0 = none)")
+		par       = flag.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
 		out       = flag.String("out", "", "write the partition here (one part id per line)")
 		list      = flag.Bool("list", false, "list available methods and exit")
 	)
@@ -51,9 +53,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	parallelism := *par
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	res, err := ff.Partition(g, ff.Options{
 		K: *k, Method: *method, Objective: *obj,
 		Seed: *seed, Budget: *budget, MaxSteps: *steps,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		fatal(err)
@@ -61,7 +68,7 @@ func main() {
 
 	fmt.Printf("graph:      %d vertices, %d edges (total weight %.0f)\n",
 		g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight())
-	fmt.Printf("method:     %s (objective %s, seed %d)\n", res.Method, *obj, *seed)
+	fmt.Printf("method:     %s (objective %s, seed %d, %d worker(s))\n", res.Method, *obj, *seed, res.Workers)
 	fmt.Printf("parts:      %d\n", res.NumParts)
 	fmt.Printf("Cut:        %.1f   (paper convention; edge cut = %.1f)\n", res.Cut, res.Cut/2)
 	fmt.Printf("Ncut:       %.4f\n", res.Ncut)

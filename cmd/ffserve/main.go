@@ -42,18 +42,20 @@ func main() {
 		queue     = flag.Int("queue", 64, "max jobs waiting for a worker before 503")
 		cacheSize = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
 		maxBudget = flag.Duration("max-budget", 30*time.Second, "clamp on per-request metaheuristic budget")
+		maxPar    = flag.Int("max-parallelism", 0, "clamp on per-request portfolio width (0 = GOMAXPROCS, negative = force serial)")
 		grace     = flag.Duration("grace", 10*time.Second, "slack added to a request's budget to form its job deadline")
 		jobTTL    = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		MaxBudget:  *maxBudget,
-		Grace:      *grace,
-		JobTTL:     *jobTTL,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxBudget:      *maxBudget,
+		MaxParallelism: *maxPar,
+		Grace:          *grace,
+		JobTTL:         *jobTTL,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/objective"
@@ -162,6 +163,12 @@ func ValidMethod(id string) bool {
 	return ok
 }
 
+// MaxParallelism bounds Options.Parallelism: every portfolio worker is a
+// full concurrent solver instance (graph-sized state, one goroutine, a
+// barrier slot), so widths beyond any plausible core count are a mistake,
+// not a request.
+const MaxParallelism = 1024
+
 // Options selects a method and its parameters. The zero value of every
 // field is a valid "use the default" request, and the struct round-trips
 // through JSON (Budget marshals as integer nanoseconds, Go's encoding of
@@ -182,6 +189,16 @@ type Options struct {
 	// MaxSteps optionally caps metaheuristic steps for deterministic work
 	// amounts (benchmarks).
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Parallelism is the portfolio width for metaheuristics: that many
+	// concurrent workers run the method from independently derived seeds
+	// (worker 0 keeps Seed itself), periodically exchanging incumbents, and
+	// the best final partition wins deterministically. 0 and 1 run the
+	// plain serial solver, bit-identical to earlier releases; classical
+	// methods ignore the field, and widths beyond MaxParallelism are
+	// rejected (each worker is a full concurrent solver instance). For
+	// step-capped runs any width is exactly reproducible for a given
+	// (seed, parallelism) pair.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // normalized fills defaults and resolves the method and objective, returning
@@ -209,6 +226,17 @@ func (o Options) normalized() (Options, string, objective.Objective, error) {
 	}
 	if o.Budget == 0 {
 		o.Budget = 2 * time.Second
+	}
+	if o.Parallelism < 0 || o.Parallelism > MaxParallelism {
+		return o, "", 0, fmt.Errorf("fusionfission: Parallelism=%d out of range [0,%d]", o.Parallelism, MaxParallelism)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
+	}
+	// Classical methods ignore the portfolio entirely; pinning their width
+	// to 1 keeps equivalent requests on identical cache/coalescing keys.
+	if spec, err := experiments.MethodByName(rowName); err == nil && !spec.Metaheuristic {
+		o.Parallelism = 1
 	}
 	return o, rowName, obj, nil
 }
@@ -241,6 +269,9 @@ type Result struct {
 	Elapsed time.Duration `json:"elapsed"`
 	// Method echoes the method identifier used.
 	Method string `json:"method"`
+	// Workers is the number of portfolio workers the solve ran (1 for
+	// serial runs and classical methods).
+	Workers int `json:"workers,omitempty"`
 	// Cancelled reports a partial result: the metaheuristic was interrupted
 	// by context cancellation, or its budget was clamped by the context
 	// deadline, and the partition is the best found so far rather than the
@@ -254,6 +285,19 @@ type Result struct {
 func Partition(g *Graph, opt Options) (*Result, error) {
 	return PartitionContext(context.Background(), g, opt)
 }
+
+// Monitor is a live view of a running solve — total steps, best objective
+// so far, portfolio width — safe for concurrent reads while the solve runs.
+// Create one with NewMonitor, pass it to PartitionMonitored and poll
+// Progress from any goroutine; the server's GET /v1/jobs/{id} endpoint is
+// such a poller.
+type Monitor = engine.Incumbent
+
+// Progress is a Monitor snapshot.
+type Progress = engine.Progress
+
+// NewMonitor returns an empty Monitor.
+func NewMonitor() *Monitor { return engine.NewIncumbent() }
 
 // PartitionContext is Partition under cooperative cancellation. The selected
 // method's time budget is clamped to the context deadline, and every method
@@ -272,6 +316,13 @@ func Partition(g *Graph, opt Options) (*Result, error) {
 // A context that is already done on entry always yields ctx.Err() without
 // starting the solver.
 func PartitionContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	return PartitionMonitored(ctx, g, opt, nil)
+}
+
+// PartitionMonitored is PartitionContext with live progress: while the
+// solve runs, mon reports the steps executed, the best objective value so
+// far and the portfolio width. A nil mon disables monitoring.
+func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor) (*Result, error) {
 	opt, rowName, obj, err := opt.normalized()
 	if err != nil {
 		return nil, err
@@ -297,11 +348,16 @@ func PartitionContext(ctx context.Context, g *Graph, opt Options) (*Result, erro
 		}
 	}
 	start := time.Now()
-	p, partial, err := spec.Run(ctx, g, opt.K, obj, opt.Budget, opt.MaxSteps, opt.Seed)
+	run, err := spec.Run(ctx, g, opt.K, experiments.RunConfig{
+		Objective: obj, Budget: opt.Budget, MaxSteps: opt.MaxSteps,
+		Seed: opt.Seed, Parallelism: opt.Parallelism, Monitor: mon,
+	})
 	if err != nil {
 		return nil, err
 	}
+	p, partial := run.P, run.Partial
 	res := resultFrom(p, opt.Method, time.Since(start))
+	res.Workers = run.Workers
 	// partial is the solver's own record of having observed the
 	// cancellation. A run truncated by a deadline-clamped budget is partial
 	// too — it spent the whole clamp without reaching its step cap, and its

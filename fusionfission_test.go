@@ -131,6 +131,18 @@ func TestFacadeKValidation(t *testing.T) {
 	if _, err := Normalize(Options{K: -1}); err == nil {
 		t.Fatal("Normalize accepted K=-1")
 	}
+	// Parallelism: negative and absurd widths are mistakes, not requests
+	// (every worker is a full concurrent solver instance); 0 normalizes to
+	// the serial width 1 so equivalent requests build identical cache keys.
+	if _, err := Normalize(Options{K: 2, Parallelism: -1}); err == nil {
+		t.Fatal("Normalize accepted Parallelism=-1")
+	}
+	if _, err := Normalize(Options{K: 2, Parallelism: MaxParallelism + 1}); err == nil {
+		t.Fatalf("Normalize accepted Parallelism=%d", MaxParallelism+1)
+	}
+	if o, err := Normalize(Options{K: 2}); err != nil || o.Parallelism != 1 {
+		t.Fatalf("zero Parallelism normalized to %d (err %v), want 1", o.Parallelism, err)
+	}
 }
 
 func TestFacadeMETISRoundTrip(t *testing.T) {

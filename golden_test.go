@@ -1,0 +1,126 @@
+package fusionfission
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Golden determinism anchor for the engine refactor: every method's exact
+// partition on a fixed instance, seed and step cap, captured from the
+// pre-engine (serial) solvers. The engine's Parallelism: 1 path must stay
+// byte-identical to these outputs seed-for-seed, so any refactor that
+// perturbs a solver's RNG consumption or loop-step accounting fails here.
+//
+// Regenerate (deliberately!) with:
+//
+//	GOLDEN_UPDATE=1 go test -run TestGoldenMethodPartitions .
+//
+// The fusion-fission ensemble method is excluded: its default run count is
+// GOMAXPROCS, which varies across machines.
+
+const (
+	goldenPath     = "testdata/golden_methods.json"
+	goldenK        = 6
+	goldenSeed     = 7
+	goldenMaxSteps = 120
+)
+
+type goldenEntry struct {
+	Parts []int32 `json:"parts"`
+	Mcut  float64 `json:"mcut"`
+}
+
+type goldenFile struct {
+	Graph    string                 `json:"graph"`
+	K        int                    `json:"k"`
+	Seed     int64                  `json:"seed"`
+	MaxSteps int                    `json:"max_steps"`
+	Methods  map[string]goldenEntry `json:"methods"`
+}
+
+func goldenGraph() *Graph { return graph.Grid2D(12, 12) }
+
+func goldenMethodIDs() []string {
+	var ids []string
+	for _, id := range append(Methods(), ExtensionMethods()...) {
+		if id == "fusion-fission-ensemble" {
+			continue // default run count is GOMAXPROCS: machine-dependent
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func goldenOptions(id string) Options {
+	return Options{
+		K: goldenK, Method: id, Seed: goldenSeed,
+		// The step cap binds; the budget exists only so a stalled machine
+		// cannot turn a deterministic run into a wall-clock-truncated one.
+		MaxSteps: goldenMaxSteps, Budget: time.Hour,
+	}
+}
+
+func TestGoldenMethodPartitions(t *testing.T) {
+	g := goldenGraph()
+
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		gf := goldenFile{
+			Graph: "grid12x12", K: goldenK, Seed: goldenSeed, MaxSteps: goldenMaxSteps,
+			Methods: make(map[string]goldenEntry),
+		}
+		for _, id := range goldenMethodIDs() {
+			res, err := Partition(g, goldenOptions(id))
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			gf.Methods[id] = goldenEntry{Parts: res.Parts, Mcut: res.Mcut}
+		}
+		buf, err := json.MarshalIndent(gf, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d methods", goldenPath, len(gf.Methods))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var gf goldenFile
+	if err := json.Unmarshal(buf, &gf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range goldenMethodIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, ok := gf.Methods[id]
+			if !ok {
+				t.Fatalf("method %s missing from golden file; regenerate", id)
+			}
+			res, err := Partition(g, goldenOptions(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Parts, want.Parts) {
+				t.Errorf("partition drifted from pre-engine golden (seed %d, %d steps)",
+					goldenSeed, goldenMaxSteps)
+			}
+			if diff := res.Mcut - want.Mcut; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("Mcut drifted: got %.12f want %.12f", res.Mcut, want.Mcut)
+			}
+		})
+	}
+}

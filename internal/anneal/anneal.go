@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -58,6 +59,10 @@ type Options struct {
 	// Initial optionally provides a starting partition (the paper starts
 	// SA from the percolation result); when nil, percolation is run.
 	Initial *partition.P
+	// Runtime optionally attaches the run to a shared engine runtime — the
+	// portfolio incumbent exchange and the live-progress monitor. Nil for
+	// standalone runs.
+	Runtime *engine.Runtime
 }
 
 func (o Options) withDefaults() Options {
@@ -81,10 +86,7 @@ func (o Options) withDefaults() Options {
 }
 
 // TracePoint records the best energy seen at a point in time, for Figure 1.
-type TracePoint struct {
-	Elapsed time.Duration
-	Energy  float64
-}
+type TracePoint = engine.TracePoint
 
 // Result is the annealing outcome.
 type Result struct {
@@ -140,8 +142,15 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	curE := energy(cur)
 	best := cur.Clone()
 	bestE := curE
-	start := time.Now()
-	trace := []TracePoint{{0, bestE}}
+	// The budget clock starts after the percolation initialization, as
+	// before the engine refactor; the auto-temperature probe below counts
+	// against it.
+	loop := engine.NewLoop(ctx, engine.LoopOptions{
+		Budget: opt.Budget, MaxSteps: opt.MaxSteps,
+		PollEvery: 256, BudgetEvery: 256,
+		Runtime: opt.Runtime,
+	})
+	loop.Improved(bestE, best.Compact)
 
 	if opt.TMax == 0 {
 		opt.TMax = autoTemperature(cur, energy, curE, r)
@@ -161,18 +170,20 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 
 	t := opt.TMax
 	refused := 0
-	steps := 0
-	cancelled := false
-	done := ctx.Done()
-	for ; steps < opt.MaxSteps; steps++ {
-		if steps&255 == 0 {
-			select {
-			case <-done:
-				cancelled = true
-			default:
-			}
-			if cancelled || (opt.Budget > 0 && time.Since(start) > opt.Budget) {
-				break
+	for loop.Next() {
+		// A portfolio peer's strictly better incumbent (delivered at the
+		// step-indexed exchange that just ran inside Next) replaces the
+		// current state at the current temperature — annealing continues
+		// from the better solution. Consuming it here, not at the freezing
+		// restart, keeps step-capped runs (Budget 0, one cooling cycle)
+		// cooperating too.
+		if p, ok := adoptForeign(loop, g, cur, bestE); ok {
+			cur = p
+			curE = energy(cur)
+			if curE < bestE {
+				bestE = curE
+				best.CopyFrom(cur)
+				loop.Improved(bestE, best.Compact)
 			}
 		}
 		if t <= opt.TMin {
@@ -211,7 +222,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			if curE < bestE {
 				bestE = curE
 				best.CopyFrom(cur)
-				trace = append(trace, TracePoint{time.Since(start), bestE})
+				loop.Improved(bestE, best.Compact)
 			}
 		} else {
 			cur.Move(v, from)
@@ -222,8 +233,23 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			}
 		}
 	}
-	trace = append(trace, TracePoint{time.Since(start), bestE})
-	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Steps: steps, Trace: trace, Cancelled: cancelled}, nil
+	loop.Finish()
+	loop.Mark(bestE)
+	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Steps: loop.Steps(), Trace: loop.Trace(), Cancelled: loop.Cancelled()}, nil
+}
+
+// adoptForeign reconstructs a portfolio peer's incumbent when it strictly
+// beats this worker's best energy.
+func adoptForeign(loop *engine.Loop, g *graph.Graph, cur *partition.P, bestE float64) (*partition.P, bool) {
+	assign, e, ok := loop.Foreign()
+	if !ok || e >= bestE {
+		return nil, false
+	}
+	p, err := partition.FromAssignment(g, assign, cur.Capacity())
+	if err != nil {
+		return nil, false
+	}
+	return p, true
 }
 
 // chooseTarget picks the destination part per the paper: the

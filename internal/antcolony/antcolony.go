@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -55,6 +56,10 @@ type Options struct {
 	// Initial optionally provides a starting partition; when nil,
 	// percolation is run.
 	Initial *partition.P
+	// Runtime optionally attaches the run to a shared engine runtime — the
+	// portfolio incumbent exchange and the live-progress monitor. Nil for
+	// standalone runs.
+	Runtime *engine.Runtime
 }
 
 func (o Options) withDefaults() Options {
@@ -83,10 +88,7 @@ func (o Options) withDefaults() Options {
 }
 
 // TracePoint records the best energy seen at a point in time, for Figure 1.
-type TracePoint struct {
-	Elapsed time.Duration
-	Energy  float64
-}
+type TracePoint = engine.TracePoint
 
 // Result is the outcome of the colony search.
 type Result struct {
@@ -154,9 +156,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	// Seed pheromone along the internal edges of the initial partition.
 	owner := make([]int32, n)
 	copy(owner, init.Assignment())
-	g.ForEachEdge(func(u, v int, w float64) {
+	g.ForEachEdgeID(func(eid, u, v int, w float64) {
 		if owner[u] == owner[v] && owner[u] >= 0 {
-			eid := edgeIDOf(g, u, v)
 			tau[owner[u]][eid] = 0.5
 		}
 	})
@@ -194,21 +195,32 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	cur := init.Clone()
 	best := init.Clone()
 	bestE := energyOf(best)
-	start := time.Now()
-	trace := []TracePoint{{0, bestE}}
+	loop := engine.NewLoop(ctx, engine.LoopOptions{
+		Budget: opt.Budget, MaxSteps: opt.Iterations,
+		PollEvery: 1, BudgetEvery: 8, ProgressEvery: 1,
+		Runtime: opt.Runtime,
+	})
+	loop.Improved(bestE, best.Compact)
 	probs := make([]float64, 0, 64)
 
-	iters := 0
-	cancelled := false
-	done := ctx.Done()
-	for ; iters < opt.Iterations; iters++ {
-		select {
-		case <-done:
-			cancelled = true
-		default:
-		}
-		if cancelled || (opt.Budget > 0 && iters%8 == 0 && time.Since(start) > opt.Budget) {
-			break
+	for loop.Next() {
+		// A portfolio peer found a strictly better partition: adopt it as
+		// the current ownership and the new personal best, and reinforce
+		// its interior so the colonies retain the imported structure.
+		if assign, fe, ok := loop.Foreign(); ok && fe < bestE {
+			if p, err := partition.FromAssignment(g, assign, cur.Capacity()); err == nil {
+				cur = p
+				if e := energyOf(cur); e < bestE && cur.NumParts() == k {
+					bestE = e
+					best.CopyFrom(cur)
+					loop.Improved(bestE, best.Compact)
+				}
+				g.ForEachEdgeID(func(eid, u, v int, w float64) {
+					if a := cur.Part(u); a == cur.Part(v) {
+						tau[a][eid] += eliteQ
+					}
+				})
+			}
 		}
 		// March the ants.
 		for c := 0; c < k; c++ {
@@ -262,30 +274,31 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		// 3.2): periodically smooth the ownership boundary with one greedy
 		// refinement pass and lay pheromone along the improved interior so
 		// the colonies retain it.
-		if opt.DaemonPeriod > 0 && iters%opt.DaemonPeriod == opt.DaemonPeriod-1 {
+		if opt.DaemonPeriod > 0 && (loop.Steps()-1)%opt.DaemonPeriod == opt.DaemonPeriod-1 {
 			refine.KWay(cur, refine.KWayOptions{
 				Objective: opt.Objective, MaxPasses: 1, Imbalance: capFactor - 1, Ctx: ctx,
 			})
-			g.ForEachEdge(func(u, v int, w float64) {
+			g.ForEachEdgeID(func(eid, u, v int, w float64) {
 				if a := cur.Part(u); a == cur.Part(v) {
-					tau[a][edgeIDOf(g, u, v)] += depositQ
+					tau[a][eid] += depositQ
 				}
 			})
 		}
 		if e := energyOf(cur); e < bestE && cur.NumParts() == k {
 			bestE = e
 			best.CopyFrom(cur)
-			trace = append(trace, TracePoint{time.Since(start), bestE})
+			loop.Improved(bestE, best.Compact)
 			// Elitist reinforcement of the new best partition's interior.
-			g.ForEachEdge(func(u, v int, w float64) {
+			g.ForEachEdgeID(func(eid, u, v int, w float64) {
 				if a := best.Part(u); a == best.Part(v) {
-					tau[a][edgeIDOf(g, u, v)] += eliteQ
+					tau[a][eid] += eliteQ
 				}
 			})
 		}
 	}
-	trace = append(trace, TracePoint{time.Since(start), bestE})
-	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Iterations: iters, Trace: trace, Cancelled: cancelled}, nil
+	loop.Finish()
+	loop.Mark(bestE)
+	return &Result{Best: best, Energy: opt.Objective.Evaluate(best), Iterations: loop.Steps(), Trace: loop.Trace(), Cancelled: loop.Cancelled()}, nil
 }
 
 // reassignByPheromone recomputes vertex ownership from the pheromone fields,
@@ -318,19 +331,4 @@ func reassignByPheromone(g *graph.Graph, tau [][]float64, cur *partition.P, maxP
 			cur.Move(v, int(bestC))
 		}
 	}
-}
-
-// edgeIDOf returns the undirected edge id of {u,v}; the edge must exist.
-func edgeIDOf(g *graph.Graph, u, v int) int32 {
-	if g.Degree(v) < g.Degree(u) {
-		u, v = v, u
-	}
-	nbrs := g.Neighbors(u)
-	eids := g.ArcEdgeIDs(u)
-	for i, x := range nbrs {
-		if int(x) == v {
-			return eids[i]
-		}
-	}
-	panic(fmt.Sprintf("antcolony: edge {%d,%d} not found", u, v))
 }

@@ -94,17 +94,19 @@ func TestColonyErrors(t *testing.T) {
 	}
 }
 
-func TestEdgeIDOf(t *testing.T) {
+func TestEdgeIDsCoverPheromoneIndex(t *testing.T) {
+	// The pheromone fields are dense arrays indexed by edge id: every id
+	// ForEachEdgeID reports must be in [0, m) and appear exactly once.
 	g := graph.Grid2D(3, 3)
-	g.ForEachEdge(func(u, v int, w float64) {
-		id1 := edgeIDOf(g, u, v)
-		id2 := edgeIDOf(g, v, u)
-		if id1 != id2 {
-			t.Fatalf("edge id differs by direction: %d vs %d", id1, id2)
+	seen := make([]bool, g.NumEdges())
+	g.ForEachEdgeID(func(e, u, v int, w float64) {
+		if e < 0 || e >= len(seen) || seen[e] {
+			t.Fatalf("edge id %d out of range or repeated", e)
 		}
-		eu, ev := g.EdgeEndpoints(int(id1))
+		seen[e] = true
+		eu, ev := g.EdgeEndpoints(e)
 		if eu != u || ev != v {
-			t.Fatalf("edge id %d endpoints (%d,%d), want (%d,%d)", id1, eu, ev, u, v)
+			t.Fatalf("edge id %d endpoints (%d,%d), want (%d,%d)", e, eu, ev, u, v)
 		}
 	})
 }

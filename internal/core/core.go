@@ -29,6 +29,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -60,6 +61,10 @@ type Options struct {
 	Seed int64
 	// Initial optionally replaces the Algorithm 2 initialization.
 	Initial *partition.P
+	// Runtime optionally attaches the run to a shared engine runtime — the
+	// portfolio incumbent exchange and the live-progress monitor. Nil for
+	// standalone runs.
+	Runtime *engine.Runtime
 	// Choice selects the fusion/fission decision rule; see ChoiceFunc.
 	Choice ChoiceFunc
 	// DisablePercolationFission splits atoms randomly instead of with
@@ -112,10 +117,7 @@ func (o Options) withDefaults() Options {
 }
 
 // TracePoint records the best K-part objective at a point in time.
-type TracePoint struct {
-	Elapsed time.Duration
-	Energy  float64
-}
+type TracePoint = engine.TracePoint
 
 // Result is the fusion-fission outcome.
 type Result struct {
@@ -159,7 +161,13 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		return nil, err
 	}
 	s := newSearch(g, k, opt)
-	start := time.Now()
+	// The loop's budget clock starts here, before the Algorithm 2
+	// initialization, exactly as the hand-rolled clock did.
+	loop := engine.NewLoop(ctx, engine.LoopOptions{
+		Budget: opt.Budget, MaxSteps: opt.MaxSteps,
+		PollEvery: 1, BudgetEvery: 64,
+		Runtime: opt.Runtime,
+	})
 
 	if opt.Initial != nil {
 		if opt.Initial.Graph() != g {
@@ -176,28 +184,13 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		return nil, ctx.Err()
 	}
 	s.normalizeToK()
-	s.afterEvent(start)
+	s.afterEvent(loop)
 
-	// Algorithm 1.
+	// Algorithm 1. Only the paper-specific event remains in the body: the
+	// engine loop owns budget, step cap and cancellation.
 	t := opt.TMax
 	cool := (opt.TMax - opt.TMin) / float64(opt.NbT)
-	steps := 0
-	cancelled := false
-	done := ctx.Done()
-	for ; steps < opt.MaxSteps; steps++ {
-		select {
-		case <-done:
-			cancelled = true
-		default:
-		}
-		if cancelled {
-			break
-		}
-		if opt.Budget > 0 {
-			if steps%64 == 0 && time.Since(start) > opt.Budget {
-				break
-			}
-		}
+	for loop.Next() {
 		prevE := s.energy.energy(s.cur)
 		atom := chooseAtom(s.cur, s.r)
 		if atom < 0 {
@@ -234,16 +227,17 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		if !opt.DisableLawLearning {
 			s.laws.update(kind, size, eject, newE < prevE, opt.LawDelta)
 		}
-		s.afterEvent(start)
+		s.afterEvent(loop)
 
 		t -= cool
 		if t <= opt.TMin {
 			// Freezing point: every loose nucleon settles (cold
 			// consolidation), then the search restarts from the best
-			// partition, reheated.
+			// partition, reheated — a portfolio peer's strictly better
+			// incumbent wins over our own if one arrived.
 			s.relaxAll()
-			s.afterEvent(start)
-			if s.bestOverall != nil {
+			s.afterEvent(loop)
+			if !s.adoptForeign(loop) && s.bestOverall != nil {
 				s.cur.CopyFrom(s.bestOverall)
 			}
 			t = opt.TMax
@@ -255,16 +249,17 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		// the best overall partition to K parts and take that.
 		s.cur.CopyFrom(s.bestOverall)
 		s.normalizeToK()
-		s.afterEvent(start)
+		s.afterEvent(loop)
 	}
+	loop.Finish()
 	best := s.bestAtK
 	res := &Result{
 		Best:      best,
 		Energy:    s.energy.raw(best),
 		BestPerK:  s.bestPerK,
-		Steps:     steps,
-		Trace:     s.trace,
-		Cancelled: cancelled,
+		Steps:     loop.Steps(),
+		Trace:     loop.Trace(),
+		Cancelled: loop.Cancelled(),
 	}
 	return res, nil
 }

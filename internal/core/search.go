@@ -5,8 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -33,7 +33,6 @@ type search struct {
 	bestAtK      *partition.P // lowest raw objective among exactly-K states
 	bestAtKE     float64
 	bestPerK     map[int]float64
-	trace        []TracePoint
 }
 
 func newSearch(g *graph.Graph, k int, opt Options) *search {
@@ -64,7 +63,7 @@ func newSearch(g *graph.Graph, k int, opt Options) *search {
 // The first state seen is always recorded, even at infinite energy (e.g.
 // K = n, where every exactly-K molecule is all singletons and Mcut/Ncut
 // diverge) — a nil incumbent must never survive a visit to a valid state.
-func (s *search) afterEvent(start time.Time) {
+func (s *search) afterEvent(loop *engine.Loop) {
 	e := s.energy.energy(s.cur)
 	if s.bestOverall == nil || e < s.bestOverallE {
 		s.bestOverallE = e
@@ -86,8 +85,25 @@ func (s *search) afterEvent(start time.Time) {
 		} else {
 			s.bestAtK.CopyFrom(s.cur)
 		}
-		s.trace = append(s.trace, TracePoint{Elapsed: time.Since(start), Energy: raw})
+		loop.Improved(raw, s.bestAtK.Compact)
 	}
+}
+
+// adoptForeign replaces the current molecule with a portfolio peer's
+// incumbent when it strictly beats this worker's own best at K — the
+// KaFFPaE-style re-seeding, applied at the freezing point where the search
+// restarts from an incumbent anyway. Reports whether it adopted.
+func (s *search) adoptForeign(loop *engine.Loop) bool {
+	assign, e, ok := loop.Foreign()
+	if !ok || (s.bestAtK != nil && e >= s.bestAtKE) {
+		return false
+	}
+	p, err := partition.FromAssignment(s.g, assign, s.g.NumVertices())
+	if err != nil {
+		return false
+	}
+	s.cur = p
+	return true
 }
 
 // initialize is Algorithm 2: the run starts from the molecule in which every
@@ -100,16 +116,12 @@ func (s *search) initialize(ctx context.Context) bool {
 	for v := 0; v < n; v++ {
 		s.cur.Assign(v, v) // atom per vertex
 	}
-	done := ctx.Done()
+	poll := engine.NewPoll(ctx, 64)
 	nBar := float64(n) / float64(s.k)
 	maxSteps := 8 * n // generous: each fusion removes an atom
 	for step := 0; step < maxSteps && s.cur.NumParts() > s.k; step++ {
-		if step&63 == 0 {
-			select {
-			case <-done:
-				return false
-			default:
-			}
+		if poll.Due() {
+			return false
 		}
 		atom := chooseAtom(s.cur, s.r)
 		if atom < 0 {

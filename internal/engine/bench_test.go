@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkLoopStep measures the per-step overhead the engine adds to a
+// solver's hot loop (step accounting + cadenced polling, no runtime).
+func BenchmarkLoopStep(b *testing.B) {
+	loop := NewLoop(context.Background(), LoopOptions{MaxSteps: b.N, PollEvery: 64})
+	b.ReportAllocs()
+	for loop.Next() {
+	}
+	if loop.Steps() != b.N {
+		b.Fatalf("granted %d of %d steps", loop.Steps(), b.N)
+	}
+}
+
+// BenchmarkLoopStepPollEvery1 is the worst-case cadence: a context check on
+// every step (fusion-fission and the ant colony run this way).
+func BenchmarkLoopStepPollEvery1(b *testing.B) {
+	loop := NewLoop(context.Background(), LoopOptions{MaxSteps: b.N, PollEvery: 1})
+	b.ReportAllocs()
+	for loop.Next() {
+	}
+}
+
+// BenchmarkPortfolioExchange measures portfolio scheduling plus one
+// incumbent exchange per 64 steps across 4 toy workers — the engine-side
+// cost floor of a KaFFPaE-style run, with no solver work at all.
+func BenchmarkPortfolioExchange(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := Portfolio(context.Background(), PortfolioOptions{Workers: 4, Seed: 1, SyncEvery: 64},
+			func(r int) float64 { return float64(r) },
+			func(ctx context.Context, rt *Runtime, seed int64) (int, error) {
+				loop := NewLoop(ctx, LoopOptions{MaxSteps: 4096, PollEvery: 64, Runtime: rt})
+				loop.Improved(float64(rt.Worker), func() []int32 { return []int32{int32(rt.Worker)} })
+				for loop.Next() {
+				}
+				return rt.Worker, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPollCadence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoll(ctx, 4)
+	for i := 0; i < 12; i++ {
+		if p.Due() {
+			t.Fatalf("call %d: due before cancellation", i)
+		}
+	}
+	cancel()
+	// Calls 12..15 fall inside the current cadence window; the check at
+	// call 16 must observe the cancellation at the latest.
+	fired := false
+	for i := 0; i < 5 && !fired; i++ {
+		fired = p.Due()
+	}
+	if !fired {
+		t.Fatal("poll never observed the cancellation")
+	}
+	if !p.Due() {
+		t.Fatal("a fired poll must stay fired")
+	}
+	if p.Err() == nil {
+		t.Fatal("fired poll reports nil Err")
+	}
+}
+
+func TestLoopGrantsExactlyMaxSteps(t *testing.T) {
+	loop := NewLoop(context.Background(), LoopOptions{MaxSteps: 137})
+	n := 0
+	for loop.Next() {
+		n++
+	}
+	if n != 137 || loop.Steps() != 137 {
+		t.Fatalf("granted %d steps (Steps() = %d), want 137", n, loop.Steps())
+	}
+	if loop.Cancelled() {
+		t.Fatal("step-capped run marked cancelled")
+	}
+}
+
+func TestLoopBudgetStops(t *testing.T) {
+	loop := NewLoop(context.Background(), LoopOptions{Budget: time.Millisecond, BudgetEvery: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for loop.Next() {
+		if time.Now().After(deadline) {
+			t.Fatal("budget never stopped the loop")
+		}
+	}
+	if loop.Cancelled() {
+		t.Fatal("budget exhaustion must not look like cancellation")
+	}
+}
+
+func TestLoopCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	loop := NewLoop(ctx, LoopOptions{PollEvery: 1})
+	for i := 0; i < 10; i++ {
+		if !loop.Next() {
+			t.Fatal("stopped before cancellation")
+		}
+	}
+	cancel()
+	if loop.Next() {
+		t.Fatal("granted a step after cancellation with PollEvery 1")
+	}
+	if !loop.Cancelled() {
+		t.Fatal("Cancelled not set")
+	}
+	if loop.Next() {
+		t.Fatal("a stopped loop granted another step")
+	}
+}
+
+func TestLoopPollNow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	loop := NewLoop(ctx, LoopOptions{PollEvery: 1 << 20})
+	if loop.PollNow() {
+		t.Fatal("PollNow fired early")
+	}
+	cancel()
+	if !loop.PollNow() {
+		t.Fatal("PollNow missed the cancellation")
+	}
+	if !loop.Cancelled() {
+		t.Fatal("PollNow did not record the cancellation")
+	}
+}
+
+func TestLoopTraceAndImproved(t *testing.T) {
+	loop := NewLoop(context.Background(), LoopOptions{MaxSteps: 10})
+	loop.Improved(5, func() []int32 { return []int32{0} })
+	for loop.Next() {
+	}
+	loop.Improved(3, func() []int32 { return []int32{1} })
+	loop.Mark(3)
+	tr := loop.Trace()
+	if len(tr) != 3 || tr[0].Energy != 5 || tr[1].Energy != 3 || tr[2].Energy != 3 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if _, _, ok := loop.Foreign(); ok {
+		t.Fatal("standalone loop produced a foreign incumbent")
+	}
+}
+
+func TestIncumbentOfferAndBest(t *testing.T) {
+	inc := NewIncumbent()
+	if _, _, ok := inc.Best(); ok {
+		t.Fatal("empty incumbent has a best")
+	}
+	if !inc.Offer(7, func() []int32 { return []int32{1, 2} }) {
+		t.Fatal("first offer rejected")
+	}
+	if inc.Offer(7, func() []int32 { t.Fatal("snapshot taken for a losing offer"); return nil }) {
+		t.Fatal("equal-energy offer accepted")
+	}
+	if !inc.Offer(5, func() []int32 { return []int32{3, 4} }) {
+		t.Fatal("better offer rejected")
+	}
+	assign, e, ok := inc.Best()
+	if !ok || e != 5 || len(assign) != 2 || assign[0] != 3 {
+		t.Fatalf("Best = %v, %v, %v", assign, e, ok)
+	}
+	assign[0] = 99 // the copy-out must be isolated
+	again, _, _ := inc.Best()
+	if again[0] != 3 {
+		t.Fatal("Best returned a shared slice")
+	}
+}
+
+func TestIncumbentProgress(t *testing.T) {
+	inc := NewIncumbent()
+	inc.SetWorkers(4)
+	inc.AddSteps(100)
+	inc.AddSteps(50)
+	p := inc.Progress()
+	if p.Steps != 150 || p.Workers != 4 || p.BestObjective != nil {
+		t.Fatalf("progress = %+v", p)
+	}
+	inc.Offer(2.5, nil)
+	p = inc.Progress()
+	if p.BestObjective == nil || *p.BestObjective != 2.5 {
+		t.Fatalf("best not surfaced: %+v", p)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, 0) != 42 {
+		t.Fatal("worker 0 must keep the base seed")
+	}
+	seen := map[int64]bool{}
+	for w := 0; w < 100; w++ {
+		seen[DeriveSeed(42, w)] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("seed collisions: %d distinct of 100", len(seen))
+	}
+	if DeriveSeed(1, 1) == DeriveSeed(2, 1) {
+		t.Fatal("different bases gave the same worker-1 seed")
+	}
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DeriveSeed maps (base seed, worker index) to statistically independent
+// seeds with a splitmix64 finalizer, so parallel workers are not
+// seed-correlated. Worker 0 keeps the base seed itself: a one-worker
+// portfolio consumes exactly the serial solver's random stream.
+func DeriveSeed(base int64, worker int) int64 {
+	if worker == 0 {
+		return base
+	}
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(worker)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Runtime attaches one worker's Loop to the portfolio's shared state. The
+// zero value (and nil) mean a standalone serial run.
+type Runtime struct {
+	// Monitor receives live progress (steps, best objective); may be nil.
+	Monitor *Incumbent
+	// Worker is this worker's index in [0, Workers).
+	Worker int
+	// SyncEvery is the incumbent-exchange cadence in loop steps; 0 never
+	// exchanges.
+	SyncEvery int
+
+	exch *exchanger
+}
+
+// candidate is one worker's deposited best.
+type candidate struct {
+	assign []int32
+	energy float64
+	worker int
+	has    bool
+}
+
+// exchanger is the barrier-synchronized incumbent exchange: each round,
+// every active worker deposits its personal best, the last arriver reduces
+// the round winner (lowest energy, ties to the lowest worker id), and all
+// workers leave the barrier with that same winner. Exchanging at step
+// indices behind a barrier — rather than whenever wall-clock timing lets a
+// worker peek — is what keeps a step-capped portfolio run deterministic.
+type exchanger struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members int // workers still participating
+	waiting int
+	round   uint64
+	slots   []candidate
+	winner  candidate
+	stopped bool // context fired: every sync returns immediately
+}
+
+func newExchanger(workers int) *exchanger {
+	x := &exchanger{members: workers, slots: make([]candidate, workers)}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+// sync deposits worker w's best and blocks until the round completes (all
+// active members arrived or the exchanger stopped), returning the round
+// winner. Slots persist across rounds, so a worker that stopped early keeps
+// contributing its final best.
+func (x *exchanger) sync(w int, own candidate) (candidate, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if own.has {
+		x.slots[w] = own
+	}
+	if x.stopped || x.members <= 1 {
+		return x.winner, x.winner.has
+	}
+	round := x.round
+	x.waiting++
+	if x.waiting == x.members {
+		x.completeRoundLocked()
+	} else {
+		for x.round == round && !x.stopped {
+			x.cond.Wait()
+		}
+	}
+	return x.winner, x.winner.has
+}
+
+// leave withdraws a finished worker; if everyone else is already waiting,
+// the round completes without it.
+func (x *exchanger) leave() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.members--
+	if x.members > 0 && x.waiting == x.members {
+		x.completeRoundLocked()
+	}
+}
+
+// stop aborts all current and future rounds (context cancelled).
+func (x *exchanger) stop() {
+	x.mu.Lock()
+	x.stopped = true
+	x.cond.Broadcast()
+	x.mu.Unlock()
+}
+
+func (x *exchanger) completeRoundLocked() {
+	x.waiting = 0
+	x.round++
+	win := candidate{}
+	for _, c := range x.slots {
+		if c.has && (!win.has || c.energy < win.energy) {
+			win = c
+		}
+	}
+	x.winner = win
+	x.cond.Broadcast()
+}
+
+// PortfolioOptions configures a multi-worker portfolio run.
+type PortfolioOptions struct {
+	// Workers is the number of concurrent solver instances (<= 0 means
+	// GOMAXPROCS). With Workers 1 the solve runs inline on the calling
+	// goroutine and is bit-identical to a direct serial call.
+	Workers int
+	// Seed is the base seed; worker w solves with DeriveSeed(Seed, w).
+	Seed int64
+	// SyncEvery is the incumbent-exchange cadence in loop steps (0 = the
+	// workers never exchange and the portfolio is an independent
+	// multi-start).
+	SyncEvery int
+	// Monitor optionally receives live progress from all workers.
+	Monitor *Incumbent
+}
+
+// Portfolio runs one solver as opt.Workers concurrent, independently seeded
+// instances that exchange incumbents through their Loops, and reduces the
+// outcomes to a deterministic winner: the lowest energy, ties to the lowest
+// worker index. Worker errors are tolerated while at least one worker
+// produces a result; if all fail, the lowest-indexed worker's error (or the
+// context's, once it fired) is returned.
+func Portfolio[R any](ctx context.Context, opt PortfolioOptions,
+	energy func(R) float64,
+	solve func(ctx context.Context, rt *Runtime, seed int64) (R, error),
+) (R, int, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Monitor != nil {
+		opt.Monitor.SetWorkers(workers)
+	}
+	if workers == 1 {
+		rt := &Runtime{Monitor: opt.Monitor, Worker: 0, SyncEvery: opt.SyncEvery}
+		res, err := solve(ctx, rt, DeriveSeed(opt.Seed, 0))
+		return res, 1, err
+	}
+
+	exch := newExchanger(workers)
+	watchDone := make(chan struct{})
+	go func() { // wake barrier waiters the moment the context fires
+		select {
+		case <-ctx.Done():
+			exch.stop()
+		case <-watchDone:
+		}
+	}()
+
+	results := make([]R, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rt := &Runtime{Monitor: opt.Monitor, Worker: w, SyncEvery: opt.SyncEvery, exch: exch}
+			defer exch.leave()
+			results[w], errs[w] = solve(ctx, rt, DeriveSeed(opt.Seed, w))
+		}(w)
+	}
+	wg.Wait()
+	close(watchDone)
+
+	bestW := -1
+	var bestE float64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			continue
+		}
+		if e := energy(results[w]); bestW < 0 || e < bestE {
+			bestW, bestE = w, e
+		}
+	}
+	if bestW < 0 {
+		var zero R
+		if err := ctx.Err(); err != nil {
+			return zero, workers, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return zero, workers, err
+			}
+		}
+		return zero, workers, errs[0] // unreachable: some err is non-nil
+	}
+	return results[bestW], workers, nil
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/antcolony"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/multilevel"
 	"repro/internal/objective"
@@ -98,7 +99,7 @@ func Figure1(g *graph.Graph, opt Figure1Options) (*Figure1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figure1 annealing: %w", err)
 	}
-	res.Series = append(res.Series, seriesFrom("simulated annealing", saTrace(sa.Trace)))
+	res.Series = append(res.Series, seriesFrom("simulated annealing", tracePoints(sa.Trace)))
 
 	ac, err := antcolony.Partition(g, opt.K, antcolony.Options{
 		Objective: objective.MCut, Budget: opt.Budget, Iterations: 1 << 30, Seed: opt.Seed,
@@ -106,7 +107,7 @@ func Figure1(g *graph.Graph, opt Figure1Options) (*Figure1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figure1 ant colony: %w", err)
 	}
-	res.Series = append(res.Series, seriesFrom("ant colony", acTrace(ac.Trace)))
+	res.Series = append(res.Series, seriesFrom("ant colony", tracePoints(ac.Trace)))
 
 	ff, err := core.Partition(g, opt.K, core.Options{
 		Objective: objective.MCut, Budget: opt.Budget, MaxSteps: 1 << 30, Seed: opt.Seed,
@@ -114,27 +115,13 @@ func Figure1(g *graph.Graph, opt Figure1Options) (*Figure1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figure1 fusion fission: %w", err)
 	}
-	res.Series = append(res.Series, seriesFrom("fusion fission", ffTrace(ff.Trace)))
+	res.Series = append(res.Series, seriesFrom("fusion fission", tracePoints(ff.Trace)))
 	return res, nil
 }
 
-func saTrace(tr []anneal.TracePoint) []Figure1Point {
-	out := make([]Figure1Point, len(tr))
-	for i, t := range tr {
-		out[i] = Figure1Point{t.Elapsed, t.Energy}
-	}
-	return out
-}
-
-func acTrace(tr []antcolony.TracePoint) []Figure1Point {
-	out := make([]Figure1Point, len(tr))
-	for i, t := range tr {
-		out[i] = Figure1Point{t.Elapsed, t.Energy}
-	}
-	return out
-}
-
-func ffTrace(tr []core.TracePoint) []Figure1Point {
+// tracePoints converts an engine trace (every solver aliases
+// engine.TracePoint) to figure points.
+func tracePoints(tr []engine.TracePoint) []Figure1Point {
 	out := make([]Figure1Point, len(tr))
 	for i, t := range tr {
 		out[i] = Figure1Point{t.Elapsed, t.Energy}

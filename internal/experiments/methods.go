@@ -13,6 +13,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/antcolony"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/genetic"
 	"repro/internal/graph"
 	"repro/internal/linear"
@@ -23,20 +24,53 @@ import (
 	"repro/internal/spectral"
 )
 
+// RunConfig carries the method-independent knobs of one solve.
+type RunConfig struct {
+	// Objective is the criterion metaheuristics target; classical methods
+	// ignore it.
+	Objective objective.Objective
+	// Budget caps a metaheuristic's wall-clock time; 0 means no limit.
+	Budget time.Duration
+	// MaxSteps caps a metaheuristic's steps (0 = the method default).
+	MaxSteps int
+	// Seed drives all randomness; a portfolio derives per-worker seeds
+	// from it.
+	Seed int64
+	// Parallelism is the portfolio width for metaheuristics: that many
+	// concurrent workers search from independently derived seeds and
+	// periodically exchange incumbents. Values <= 1 run the plain serial
+	// solver; classical methods always run serially.
+	Parallelism int
+	// Monitor optionally receives live progress (steps, best objective,
+	// workers); used by the server's job-polling endpoint.
+	Monitor *engine.Incumbent
+}
+
+// RunResult is one method run's outcome.
+type RunResult struct {
+	// P is the computed partition.
+	P *partition.P
+	// Partial marks a metaheuristic interrupted by context cancellation:
+	// P is the best partition found so far.
+	Partial bool
+	// Workers is the number of portfolio workers that ran (1 for serial
+	// runs and classical methods).
+	Workers int
+}
+
 // MethodSpec describes one Table 1 row.
 type MethodSpec struct {
 	// Name is the row label, matching the paper's abbreviations.
 	Name string
 	// Metaheuristic marks the rows that target a specific objective and
-	// accept a time budget.
+	// accept a time budget and a portfolio width.
 	Metaheuristic bool
-	// Run produces a k-way partition. For deterministic methods obj and
-	// budget are ignored. Every method honours ctx cooperatively: a
-	// classical method returns ctx.Err() once ctx fires (partial is always
-	// false), a metaheuristic stops and returns its best partition so far
-	// with partial set — the solver's own record of having observed the
-	// cancellation, free of any race against the context timer.
-	Run func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (p *partition.P, partial bool, err error)
+	// Run produces a k-way partition. Every method honours ctx
+	// cooperatively: a classical method returns ctx.Err() once ctx fires,
+	// a metaheuristic stops and returns its best partition so far with
+	// RunResult.Partial set — the solver's own record of having observed
+	// the cancellation, free of any race against the context timer.
+	Run func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error)
 }
 
 // Methods lists the Table 1 rows in the paper's order.
@@ -66,41 +100,33 @@ var Methods = []MethodSpec{
 // work, and the parallel fusion-fission ensemble. They never appear in the
 // Table 1 reproduction, only through the facade and the ablation benches.
 var ExtensionMethods = []MethodSpec{
-	{Name: "Random", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
+	{Name: "Random", Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return RunResult{}, err
 		}
-		p, err := linear.Random(g, k, seed)
-		return p, false, err
+		p, err := linear.Random(g, k, cfg.Seed)
+		return serial(p), err
 	}},
-	{Name: "Scattered", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, bool, error) {
+	{Name: "Scattered", Run: func(ctx context.Context, g *graph.Graph, k int, _ RunConfig) (RunResult, error) {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return RunResult{}, err
 		}
 		p, err := linear.Scattered(g, k)
-		return p, false, err
+		return serial(p), err
 	}},
-	{Name: "Multilevel (KWay)", Run: func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
-		p, err := multilevel.PartitionKWayContext(ctx, g, k, multilevel.Options{Seed: seed})
-		return p, false, err
+	{Name: "Multilevel (KWay)", Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+		p, err := multilevel.PartitionKWayContext(ctx, g, k, multilevel.Options{Seed: cfg.Seed})
+		return serial(p), err
 	}},
-	{Name: "Genetic algorithm", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
-		res, err := genetic.PartitionContext(ctx, g, k, genetic.Options{
-			Objective: obj, Budget: budget, Generations: stepsOr(steps, 100_000), Seed: seed,
-		})
-		if err != nil {
-			return nil, false, err
-		}
-		return res.Best, res.Cancelled, nil
-	}},
-	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
+	{Name: "Genetic algorithm", Metaheuristic: true, Run: runGenetic},
+	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
 		res, err := core.EnsembleContext(ctx, g, k, core.EnsembleOptions{Base: core.Options{
-			Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
+			Objective: cfg.Objective, Budget: cfg.Budget, MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: cfg.Seed,
 		}})
 		if err != nil {
-			return nil, false, err
+			return RunResult{}, err
 		}
-		return res.Best, res.Cancelled, nil
+		return RunResult{P: res.Best, Partial: res.Cancelled, Workers: 1}, nil
 	}},
 }
 
@@ -120,60 +146,112 @@ func MethodByName(name string) (MethodSpec, error) {
 	return MethodSpec{}, fmt.Errorf("experiments: unknown method %q", name)
 }
 
-func runLinear(arity int, kl bool) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
-	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, _ int64) (*partition.P, bool, error) {
+func serial(p *partition.P) RunResult { return RunResult{P: p, Workers: 1} }
+
+// portfolio runs solve as a cfg.Parallelism-wide engine portfolio (serial
+// for widths <= 1, bit-identical to a direct call) and reduces the workers'
+// results to the deterministic winner. syncEvery is the incumbent-exchange
+// cadence in the solver's own step unit.
+func portfolio[R any](ctx context.Context, cfg RunConfig, syncEvery int,
+	energy func(R) float64,
+	solve func(ctx context.Context, rt *engine.Runtime, seed int64) (R, error),
+) (R, int, error) {
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	return engine.Portfolio(ctx, engine.PortfolioOptions{
+		Workers: workers, Seed: cfg.Seed, SyncEvery: syncEvery, Monitor: cfg.Monitor,
+	}, energy, solve)
+}
+
+func runLinear(arity int, kl bool) func(context.Context, *graph.Graph, int, RunConfig) (RunResult, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, _ RunConfig) (RunResult, error) {
 		p, err := linear.PartitionContext(ctx, g, k, linear.Options{Arity: arity, KL: kl})
-		return p, false, err
+		return serial(p), err
 	}
 }
 
-func runSpectral(solver spectral.Solver, arity int, kl bool) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
-	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
-		p, err := spectral.PartitionContext(ctx, g, k, spectral.Options{Solver: solver, Arity: arity, KL: kl, Seed: seed})
-		return p, false, err
+func runSpectral(solver spectral.Solver, arity int, kl bool) func(context.Context, *graph.Graph, int, RunConfig) (RunResult, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+		p, err := spectral.PartitionContext(ctx, g, k, spectral.Options{Solver: solver, Arity: arity, KL: kl, Seed: cfg.Seed})
+		return serial(p), err
 	}
 }
 
-func runMultilevel(arity int) func(context.Context, *graph.Graph, int, objective.Objective, time.Duration, int, int64) (*partition.P, bool, error) {
-	return func(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
-		p, err := multilevel.PartitionContext(ctx, g, k, multilevel.Options{Arity: arity, Seed: seed})
-		return p, false, err
+func runMultilevel(arity int) func(context.Context, *graph.Graph, int, RunConfig) (RunResult, error) {
+	return func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+		p, err := multilevel.PartitionContext(ctx, g, k, multilevel.Options{Arity: arity, Seed: cfg.Seed})
+		return serial(p), err
 	}
 }
 
-func runPercolation(ctx context.Context, g *graph.Graph, k int, _ objective.Objective, _ time.Duration, _ int, seed int64) (*partition.P, bool, error) {
-	p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: seed})
-	return p, false, err
+func runPercolation(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	p, err := percolation.PartitionContext(ctx, g, k, percolation.Options{Seed: cfg.Seed})
+	return serial(p), err
 }
 
-func runAnneal(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
-	res, err := anneal.PartitionContext(ctx, g, k, anneal.Options{
-		Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
-	})
+func runAnneal(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	// Annealing moves are cheap, so workers exchange on a coarse cadence.
+	res, workers, err := portfolio(ctx, cfg, 16_384,
+		func(r *anneal.Result) float64 { return r.Energy },
+		func(ctx context.Context, rt *engine.Runtime, seed int64) (*anneal.Result, error) {
+			return anneal.PartitionContext(ctx, g, k, anneal.Options{
+				Objective: cfg.Objective, Budget: cfg.Budget,
+				MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+			})
+		})
 	if err != nil {
-		return nil, false, err
+		return RunResult{}, err
 	}
-	return res.Best, res.Cancelled, nil
+	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
 }
 
-func runAntColony(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
-	res, err := antcolony.PartitionContext(ctx, g, k, antcolony.Options{
-		Objective: obj, Budget: budget, Iterations: stepsOr(steps, 1_000_000), Seed: seed,
-	})
+func runAntColony(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	// One step is a whole colony iteration: exchange often.
+	res, workers, err := portfolio(ctx, cfg, 32,
+		func(r *antcolony.Result) float64 { return r.Energy },
+		func(ctx context.Context, rt *engine.Runtime, seed int64) (*antcolony.Result, error) {
+			return antcolony.PartitionContext(ctx, g, k, antcolony.Options{
+				Objective: cfg.Objective, Budget: cfg.Budget,
+				Iterations: stepsOr(cfg.MaxSteps, 1_000_000), Seed: seed, Runtime: rt,
+			})
+		})
 	if err != nil {
-		return nil, false, err
+		return RunResult{}, err
 	}
-	return res.Best, res.Cancelled, nil
+	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
 }
 
-func runFusionFission(ctx context.Context, g *graph.Graph, k int, obj objective.Objective, budget time.Duration, steps int, seed int64) (*partition.P, bool, error) {
-	res, err := core.PartitionContext(ctx, g, k, core.Options{
-		Objective: obj, Budget: budget, MaxSteps: stepsOr(steps, 2_000_000), Seed: seed,
-	})
+func runFusionFission(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	res, workers, err := portfolio(ctx, cfg, 1024,
+		func(r *core.Result) float64 { return r.Energy },
+		func(ctx context.Context, rt *engine.Runtime, seed int64) (*core.Result, error) {
+			return core.PartitionContext(ctx, g, k, core.Options{
+				Objective: cfg.Objective, Budget: cfg.Budget,
+				MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+			})
+		})
 	if err != nil {
-		return nil, false, err
+		return RunResult{}, err
 	}
-	return res.Best, res.Cancelled, nil
+	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
+}
+
+func runGenetic(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	// One step is a whole generation: exchange often.
+	res, workers, err := portfolio(ctx, cfg, 4,
+		func(r *genetic.Result) float64 { return r.Energy },
+		func(ctx context.Context, rt *engine.Runtime, seed int64) (*genetic.Result, error) {
+			return genetic.PartitionContext(ctx, g, k, genetic.Options{
+				Objective: cfg.Objective, Budget: cfg.Budget,
+				Generations: stepsOr(cfg.MaxSteps, 100_000), Seed: seed, Runtime: rt,
+			})
+		})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
 }
 
 func stepsOr(steps, def int) int {

@@ -44,6 +44,10 @@ type VarianceOptions struct {
 	Methods []string
 	// Workers caps concurrent runs (default GOMAXPROCS).
 	Workers int
+	// Parallelism is each run's own portfolio width (<= 1 serial). Total
+	// concurrency is Workers x Parallelism; keep the product near the
+	// core count.
+	Parallelism int
 }
 
 // RunVariance runs each selected method once per seed, in parallel, and
@@ -93,14 +97,17 @@ func RunVariance(g *graph.Graph, opt VarianceOptions) ([]VarianceRow, error) {
 					continue
 				}
 				start := time.Now()
-				p, _, err := spec.Run(context.Background(), g, opt.K, opt.Objective, opt.Budget, 0, j.seed)
+				res, err := spec.Run(context.Background(), g, opt.K, RunConfig{
+					Objective: opt.Objective, Budget: opt.Budget,
+					Seed: j.seed, Parallelism: opt.Parallelism,
+				})
 				if err != nil {
 					results <- outcome{method: j.method, err: err}
 					continue
 				}
 				results <- outcome{
 					method:  j.method,
-					value:   opt.Objective.Evaluate(p),
+					value:   opt.Objective.Evaluate(res.P),
 					seconds: time.Since(start).Seconds(),
 				}
 			}

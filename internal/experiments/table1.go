@@ -32,6 +32,8 @@ type Table1Options struct {
 	MetaBudget time.Duration
 	// MetaSteps optionally caps steps instead of (or with) time.
 	MetaSteps int
+	// Parallelism is the metaheuristics' portfolio width (<= 1 serial).
+	Parallelism int
 }
 
 // Table1 reproduces the paper's Table 1 on g: every classical method runs
@@ -50,26 +52,29 @@ func Table1(g *graph.Graph, opt Table1Options) []Table1Row {
 		row := Table1Row{Name: m.Name}
 		start := time.Now()
 		if !m.Metaheuristic {
-			p, _, err := m.Run(context.Background(), g, opt.K, objective.MCut, 0, 0, opt.Seed)
+			res, err := m.Run(context.Background(), g, opt.K, RunConfig{Objective: objective.MCut, Seed: opt.Seed})
 			if err != nil {
 				row.Err = err.Error()
 			} else {
-				row.Cut, row.Ncut, row.Mcut = objective.EvaluateAll(p)
+				row.Cut, row.Ncut, row.Mcut = objective.EvaluateAll(res.P)
 			}
 		} else {
 			for _, obj := range objective.All {
-				p, _, err := m.Run(context.Background(), g, opt.K, obj, opt.MetaBudget, opt.MetaSteps, opt.Seed)
+				res, err := m.Run(context.Background(), g, opt.K, RunConfig{
+					Objective: obj, Budget: opt.MetaBudget, MaxSteps: opt.MetaSteps,
+					Seed: opt.Seed, Parallelism: opt.Parallelism,
+				})
 				if err != nil {
 					row.Err = err.Error()
 					break
 				}
 				switch obj {
 				case objective.Cut:
-					row.Cut = objective.Cut.Evaluate(p)
+					row.Cut = objective.Cut.Evaluate(res.P)
 				case objective.NCut:
-					row.Ncut = objective.NCut.Evaluate(p)
+					row.Ncut = objective.NCut.Evaluate(res.P)
 				case objective.MCut:
-					row.Mcut = objective.MCut.Evaluate(p)
+					row.Mcut = objective.MCut.Evaluate(res.P)
 				}
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -43,6 +44,10 @@ type Options struct {
 	Budget time.Duration
 	// Seed drives all randomness.
 	Seed int64
+	// Runtime optionally attaches the run to a shared engine runtime — the
+	// portfolio incumbent exchange and the live-progress monitor. Nil for
+	// standalone runs.
+	Runtime *engine.Runtime
 }
 
 func (o Options) withDefaults() Options {
@@ -110,10 +115,11 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 
 	// Initial population: percolation partitions from diverse seeds plus
 	// random assignments for diversity.
+	initPoll := engine.NewPoll(ctx, 1)
 	pop := make([]individual, 0, opt.Population)
 	for i := 0; len(pop) < opt.Population; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if initPoll.Due() {
+			return nil, initPoll.Err()
 		}
 		var assign []int32
 		if i%2 == 0 {
@@ -131,25 +137,31 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	}
 	sortPop(pop)
 
-	start := time.Now()
-	gen := 0
-	cancelled := false
-	done := ctx.Done()
-	for ; gen < opt.Generations && !cancelled; gen++ {
-		if opt.Budget > 0 && time.Since(start) > opt.Budget {
-			break
+	// One engine step is one generation; the per-child context poll nests
+	// inside a step through PollNow.
+	loop := engine.NewLoop(ctx, engine.LoopOptions{
+		Budget: opt.Budget, MaxSteps: opt.Generations,
+		PollEvery: 1, BudgetEvery: 1, ProgressEvery: 1,
+		Runtime: opt.Runtime,
+	})
+	bestSeen := pop[0].fitness
+	leader := pop[0].assign
+	loop.Improved(bestSeen, func() []int32 { return append([]int32(nil), leader...) })
+	completed := 0 // fully-evaluated generations, excluding an aborted one
+	for loop.Next() {
+		// A portfolio peer's strictly better incumbent joins the population,
+		// displacing the current worst (elitism then carries it forward).
+		if assign, fe, ok := loop.Foreign(); ok && fe < pop[0].fitness {
+			adopted := append([]int32(nil), assign...) // other workers share the slice
+			pop[len(pop)-1] = individual{assign: adopted, fitness: fitnessOf(adopted)}
+			sortPop(pop)
 		}
 		next := make([]individual, 0, opt.Population)
 		for e := 0; e < opt.Elite && e < len(pop); e++ {
 			next = append(next, pop[e])
 		}
 		for len(next) < opt.Population {
-			select {
-			case <-done:
-				cancelled = true
-			default:
-			}
-			if cancelled {
+			if loop.PollNow() {
 				break
 			}
 			pa := tournament(pop, opt.TournamentSize, r)
@@ -167,24 +179,31 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			}
 			next = append(next, individual{assign: child, fitness: fitnessOf(child)})
 		}
-		if cancelled {
+		if loop.Cancelled() {
 			// Keep the last fully-evaluated generation: pop is sorted and
 			// pop[0] is the best individual seen (elitism preserves it).
 			break
 		}
 		pop = next
 		sortPop(pop)
+		completed++
+		if pop[0].fitness < bestSeen {
+			bestSeen = pop[0].fitness
+			leader := pop[0].assign
+			loop.Improved(bestSeen, func() []int32 { return append([]int32(nil), leader...) })
+		}
 	}
 
-	best, err := partition.FromAssignment(g, pop[0].assign, k)
+	bestP, err := partition.FromAssignment(g, pop[0].assign, k)
 	if err != nil {
 		return nil, err
 	}
+	loop.Finish()
 	return &Result{
-		Best:        best,
-		Energy:      opt.Objective.Evaluate(best),
-		Generations: gen,
-		Cancelled:   cancelled,
+		Best:        bestP,
+		Energy:      opt.Objective.Evaluate(bestP),
+		Generations: completed,
+		Cancelled:   loop.Cancelled(),
 	}, nil
 }
 

@@ -25,6 +25,7 @@ type Graph struct {
 	adjwgt []float64 // len 2m; weights parallel to adjncy
 	arcEID []int32   // len 2m; undirected edge id per arc
 	eu, ev []int32   // len m; endpoints of edge id e, eu[e] < ev[e]
+	ewgt   []float64 // len m; weight of edge id e
 	vwgt   []float64 // len n; vertex weights
 	totW   float64   // sum of undirected edge weights
 	totVW  float64   // sum of vertex weights
@@ -53,6 +54,9 @@ func (g *Graph) ArcEdgeIDs(v int) []int32 { return g.arcEID[g.xadj[v]:g.xadj[v+1
 
 // EdgeEndpoints returns the endpoints (u < v) of edge id e.
 func (g *Graph) EdgeEndpoints(e int) (int, int) { return int(g.eu[e]), int(g.ev[e]) }
+
+// EdgeWeightOf returns the weight of edge id e.
+func (g *Graph) EdgeWeightOf(e int) float64 { return g.ewgt[e] }
 
 // VertexWeight returns the weight of vertex v.
 func (g *Graph) VertexWeight(v int) float64 { return g.vwgt[v] }
@@ -91,35 +95,40 @@ func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 // ForEachEdge calls fn once per undirected edge with u < v.
 func (g *Graph) ForEachEdge(fn func(u, v int, w float64)) {
 	for e := range g.eu {
-		u, v := int(g.eu[e]), int(g.ev[e])
-		// Weight lookup via the first arc out of u that carries this id.
-		fn(u, v, g.edgeWeightByID(e))
+		fn(int(g.eu[e]), int(g.ev[e]), g.ewgt[e])
 	}
 }
 
-func (g *Graph) edgeWeightByID(e int) float64 {
-	u := int(g.eu[e])
-	ids := g.ArcEdgeIDs(u)
-	for i, id := range ids {
-		if int(id) == e {
-			return g.Weights(u)[i]
-		}
+// ForEachEdgeID is ForEachEdge with the undirected edge id included, for
+// callers that key per-edge state (pheromone fields, FM gains) on edge ids.
+func (g *Graph) ForEachEdgeID(fn func(e, u, v int, w float64)) {
+	for e := range g.eu {
+		fn(e, int(g.eu[e]), int(g.ev[e]), g.ewgt[e])
 	}
-	panic("graph: inconsistent edge id table")
 }
 
 // Builder accumulates edges and produces an immutable Graph.
 // Parallel edges between the same vertex pair are merged by summing weights.
+//
+// Edges are buffered in a flat slice (24 bytes each, amortized) rather than a
+// hash map and deduplicated by a sort-then-merge pass inside Build, so
+// million-edge builds cost a fraction of the memory of the former
+// map[[2]int32]float64 accumulator; see BenchmarkBuilderLargeBuild.
 type Builder struct {
 	n     int
 	vwgt  []float64
-	edges map[[2]int32]float64
+	edges []builderEdge // u < v normalized; parallels merged at Build time
 	err   error
+}
+
+type builderEdge struct {
+	u, v int32
+	w    float64
 }
 
 // NewBuilder returns a builder for a graph with n vertices, all of weight 1.
 func NewBuilder(n int) *Builder {
-	b := &Builder{n: n, vwgt: make([]float64, n), edges: make(map[[2]int32]float64)}
+	b := &Builder{n: n, vwgt: make([]float64, n)}
 	for i := range b.vwgt {
 		b.vwgt[i] = 1
 	}
@@ -144,7 +153,21 @@ func (b *Builder) AddEdge(u, v int, w float64) {
 		if u > v {
 			u, v = v, u
 		}
-		b.edges[[2]int32{int32(u), int32(v)}] += w
+		b.edges = append(b.edges, builderEdge{int32(u), int32(v), w})
+	}
+}
+
+// Reserve grows the edge buffer to hold m additional edges, sparing the
+// append-doubling copies on large builds where the caller knows the edge
+// count up front (file headers, generators).
+func (b *Builder) Reserve(m int) {
+	if m <= 0 || b.err != nil {
+		return
+	}
+	if cap(b.edges)-len(b.edges) < m {
+		grown := make([]builderEdge, len(b.edges), len(b.edges)+m)
+		copy(grown, b.edges)
+		b.edges = grown
 	}
 }
 
@@ -164,7 +187,8 @@ func (b *Builder) SetVertexWeight(v int, w float64) {
 	b.vwgt[v] = w
 }
 
-// NumPendingEdges reports how many distinct edges have been added so far.
+// NumPendingEdges reports how many edges have been added so far; parallel
+// edges are still counted separately, Build merges them.
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 
 // Build constructs the CSR graph. The builder must not be reused afterwards.
@@ -173,21 +197,27 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, b.err
 	}
 	n := b.n
-	m := len(b.edges)
-	type edge struct {
-		u, v int32
-		w    float64
-	}
-	list := make([]edge, 0, m)
-	for k, w := range b.edges {
-		list = append(list, edge{k[0], k[1], w})
-	}
-	sort.Slice(list, func(i, j int) bool {
+	list := b.edges
+	b.edges = nil
+	// Stable, so parallel edges merge their weights in insertion order and
+	// the summed floats match the order-of-add accumulation exactly.
+	sort.SliceStable(list, func(i, j int) bool {
 		if list[i].u != list[j].u {
 			return list[i].u < list[j].u
 		}
 		return list[i].v < list[j].v
 	})
+	// Merge parallel edges in place: after the sort they are adjacent.
+	merged := list[:0]
+	for _, e := range list {
+		if k := len(merged); k > 0 && merged[k-1].u == e.u && merged[k-1].v == e.v {
+			merged[k-1].w += e.w
+			continue
+		}
+		merged = append(merged, e)
+	}
+	list = merged
+	m := len(list)
 
 	g := &Graph{
 		xadj:   make([]int32, n+1),
@@ -196,6 +226,7 @@ func (b *Builder) Build() (*Graph, error) {
 		arcEID: make([]int32, 2*m),
 		eu:     make([]int32, m),
 		ev:     make([]int32, m),
+		ewgt:   make([]float64, m),
 		vwgt:   b.vwgt,
 	}
 	deg := make([]int32, n)
@@ -210,6 +241,7 @@ func (b *Builder) Build() (*Graph, error) {
 	copy(pos, g.xadj[:n])
 	for id, e := range list {
 		g.eu[id], g.ev[id] = e.u, e.v
+		g.ewgt[id] = e.w
 		g.adjncy[pos[e.u]] = e.v
 		g.adjwgt[pos[e.u]] = e.w
 		g.arcEID[pos[e.u]] = int32(id)

@@ -189,6 +189,7 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 
 	// Both endpoints have reported; only now is O(n) allocation justified.
 	b := NewBuilder(n)
+	b.Reserve(len(seen))
 	for v, w := range vwgts {
 		b.SetVertexWeight(v, w)
 	}

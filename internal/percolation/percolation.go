@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -98,8 +99,9 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		seen[s] = true
 	}
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	poll := engine.NewPoll(ctx, 1)
+	if poll.Due() {
+		return nil, poll.Err()
 	}
 
 	maxRounds := opt.MaxRounds
@@ -112,8 +114,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	// caps one liquid follows the heavy corridors across the whole map and
 	// the rounds below can only erode it a frontier layer at a time.
 	color, _ := balancedGrowth(ctx, g, seeds, logHalfMean)
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if poll.Due() {
+		return nil, poll.Err()
 	}
 
 	// Phase 2 — the paper's fixed-point rounds: recompute every liquid's
@@ -135,8 +137,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		}
 	}
 	for round := 0; round < maxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if poll.Due() {
+			return nil, poll.Err()
 		}
 		for i := 0; i < k; i++ {
 			propagate(g, seeds[i], int32(i), color, false, logHalfMean, bonds[i])
@@ -193,8 +195,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	refine.KWay(p, refine.KWayOptions{
 		Objective: objective.Cut, MaxPasses: 2, Imbalance: 0.25, Ctx: ctx,
 	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if poll.Due() {
+		return nil, poll.Err()
 	}
 	// Last: guarantee every region an internal edge so Ncut/Mcut stay
 	// finite (the boundary pass may strip a region back to a star), and let
@@ -243,7 +245,7 @@ func growSingletons(p *partition.P) {
 // vertices remain unclaimed. Returns the coloring and each claimed vertex's
 // log-domain bond.
 func balancedGrowth(ctx context.Context, g *graph.Graph, seeds []int, logHalfMean float64) ([]int32, []float64) {
-	done := ctx.Done()
+	poll := engine.NewPoll(ctx, 4096)
 	n := g.NumVertices()
 	k := len(seeds)
 	color := make([]int32, n)
@@ -263,7 +265,6 @@ func balancedGrowth(ctx context.Context, g *graph.Graph, seeds []int, logHalfMea
 	}
 
 	phases := []float64{1.15, 1.3, 1.5, 1.8, 2.2, 3, 5, math.Inf(1)}
-	pops := 0
 	for _, capFactor := range phases {
 		if claimedTotal >= g.TotalVertexWeight() {
 			break
@@ -292,12 +293,8 @@ func balancedGrowth(ctx context.Context, g *graph.Graph, seeds []int, logHalfMea
 		for pq.Len() > 0 {
 			// Cancellation abandons the growth mid-flood; the caller
 			// discards the partial coloring and returns ctx.Err().
-			if pops++; pops&4095 == 0 {
-				select {
-				case <-done:
-					return color, bondVal
-				default:
-				}
+			if poll.Due() {
+				return color, bondVal
 			}
 			it := heap.Pop(pq).(growItem)
 			if color[it.v] >= 0 {

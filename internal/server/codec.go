@@ -36,6 +36,10 @@ type PartitionRequest struct {
 	Budget string `json:"budget,omitempty"`
 	// MaxSteps optionally caps metaheuristic steps for deterministic work.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Parallelism is the metaheuristic portfolio width: that many workers
+	// search concurrently from derived seeds and the best result wins.
+	// Clamped to the server's configured maximum; 0 and 1 run serially.
+	Parallelism int `json:"parallelism,omitempty"`
 
 	// Wait selects synchronous (default) or asynchronous handling. With
 	// wait=false the server replies 202 with a job id to poll at
@@ -123,18 +127,26 @@ func decodeEdgeList(spec GraphSpec) (*graph.Graph, error) {
 }
 
 // options converts the wire fields to library options, clamping the budget
-// to maxBudget (0 = no clamp). The result is normalized so that equivalent
-// requests produce identical cache keys.
-func (r *PartitionRequest) options(maxBudget time.Duration) (ff.Options, error) {
+// to maxBudget and the portfolio width to maxParallelism (0 = no clamp).
+// The result is normalized so that equivalent requests produce identical
+// cache keys.
+func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) (ff.Options, error) {
 	if r.K < 1 {
 		return ff.Options{}, badRequestf("k must be >= 1, got %d", r.K)
 	}
+	if r.Parallelism < 0 {
+		return ff.Options{}, badRequestf("parallelism must be >= 0, got %d", r.Parallelism)
+	}
 	opt := ff.Options{
-		K:         r.K,
-		Method:    r.Method,
-		Objective: r.Objective,
-		Seed:      r.Seed,
-		MaxSteps:  r.MaxSteps,
+		K:           r.K,
+		Method:      r.Method,
+		Objective:   r.Objective,
+		Seed:        r.Seed,
+		MaxSteps:    r.MaxSteps,
+		Parallelism: r.Parallelism,
+	}
+	if maxParallelism > 0 && opt.Parallelism > maxParallelism {
+		opt.Parallelism = maxParallelism
 	}
 	if r.Budget != "" {
 		d, err := time.ParseDuration(r.Budget)
@@ -199,8 +211,9 @@ func graphDigest(g *graph.Graph) string {
 }
 
 // cacheKey identifies a computation: graph content plus every option that
-// influences the result. Options must be normalized.
+// influences the result (the portfolio width changes the winner, so it is
+// part of the key). Options must be normalized.
 func cacheKey(digest string, opt ff.Options) string {
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps)
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism)
 }

@@ -58,6 +58,7 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 2, Budget: time.Second},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: 2 * time.Second},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5, Parallelism: 4},
 	} {
 		k := cacheKey(d, v)
 		if keys[k] {
@@ -69,7 +70,7 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 
 func TestRequestOptionsNormalizeAndClamp(t *testing.T) {
 	r := PartitionRequest{K: 2}
-	opt, err := r.options(0)
+	opt, err := r.options(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRequestOptionsNormalizeAndClamp(t *testing.T) {
 	}
 
 	r = PartitionRequest{K: 2, Budget: "10s"}
-	opt, err = r.options(3 * time.Second)
+	opt, err = r.options(3*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,23 @@ func TestRequestOptionsNormalizeAndClamp(t *testing.T) {
 		t.Fatalf("budget not clamped: %v", opt.Budget)
 	}
 
-	if _, err := (&PartitionRequest{K: 0}).options(0); err == nil {
+	if _, err := (&PartitionRequest{K: 0}).options(0, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := (&PartitionRequest{K: 2, Budget: "0s"}).options(0); err == nil {
+	if _, err := (&PartitionRequest{K: 2, Budget: "0s"}).options(0, 0); err == nil {
 		t.Fatal("zero budget accepted")
+	}
+	if _, err := (&PartitionRequest{K: 2, Parallelism: -1}).options(0, 0); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+
+	r = PartitionRequest{K: 2, Parallelism: 64}
+	opt, err = r.options(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Parallelism != 4 {
+		t.Fatalf("parallelism not clamped: %d", opt.Parallelism)
 	}
 }
 

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestJobProgressWhileRunning polls a running portfolio job and expects the
+// engine's live incumbent snapshot — steps, best objective, workers — to
+// appear on GET /v1/jobs/{id}, then disappear once the job is cancelled.
+func TestJobProgressWhileRunning(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxParallelism: 2})
+
+	req := slowJob("20s")
+	req.Parallelism = 2
+	code, pr := post(t, ts, req)
+	if code != http.StatusAccepted || pr.JobID == "" {
+		t.Fatalf("submit: code %d, %+v", code, pr)
+	}
+
+	// Wait for the job to be running with visible progress. Steps and the
+	// best objective appear as soon as the workers have searched a little.
+	deadline := time.Now().Add(15 * time.Second)
+	var got partitionResponse
+	for {
+		if code := getJSON(t, ts.URL+pr.Poll, &got); code != http.StatusOK {
+			t.Fatalf("poll: code %d", code)
+		}
+		if got.Status == statusDone || got.Status == statusFailed || got.Status == statusCancelled {
+			t.Fatalf("slow job ended early: %s %s", got.Status, got.Error)
+		}
+		if got.Status == statusRunning && got.Progress != nil &&
+			got.Progress.Steps > 0 && got.Progress.BestObjective != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress surfaced; last: %+v (progress %+v)", got, got.Progress)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Progress.Workers != 2 {
+		t.Fatalf("progress workers = %d, want the portfolio width 2", got.Progress.Workers)
+	}
+	if *got.Progress.BestObjective <= 0 {
+		t.Fatalf("best objective = %v", *got.Progress.BestObjective)
+	}
+
+	// Cancel; the finished job must not carry progress any more.
+	reqDel, err := http.NewRequest(http.MethodDelete, ts.URL+pr.Poll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: code %d", resp.StatusCode)
+	}
+	got = partitionResponse{}
+	if code := getJSON(t, ts.URL+pr.Poll, &got); code != http.StatusOK {
+		t.Fatalf("poll after cancel: code %d", code)
+	}
+	if got.Status != statusCancelled || got.Progress != nil {
+		t.Fatalf("after cancel: status %s, progress %+v", got.Status, got.Progress)
+	}
+}

@@ -38,6 +38,7 @@ type job struct {
 
 	g   *graph.Graph
 	opt ff.Options
+	mon *ff.Monitor // live progress, snapshotted by GET /v1/jobs/{id}
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -148,6 +149,7 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 		coKey:     coKey,
 		g:         g,
 		opt:       opt,
+		mon:       ff.NewMonitor(),
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -236,7 +238,7 @@ func (p *pool) run(j *job) {
 	// the solver on this goroutine and the solver itself observes j.ctx, so
 	// a DELETE or an expired deadline returns control (and this worker
 	// slot) promptly — nothing keeps computing in the background.
-	res, err := ff.PartitionContext(j.ctx, j.g, j.opt)
+	res, err := ff.PartitionMonitored(j.ctx, j.g, j.opt, j.mon)
 	j.cancel()
 	if err != nil {
 		// An explicit DELETE surfaces as context.Canceled; whichever of

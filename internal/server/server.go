@@ -41,6 +41,11 @@ type Config struct {
 	CacheSize int
 	// MaxBudget clamps the per-request metaheuristic budget (default 30s).
 	MaxBudget time.Duration
+	// MaxParallelism clamps the per-request portfolio width (default
+	// GOMAXPROCS; negative disables portfolios entirely, forcing serial
+	// runs). Each portfolio worker occupies a CPU core, so the product of
+	// Workers and MaxParallelism is how oversubscribed the host can get.
+	MaxParallelism int
 	// Grace is added to a request's budget to form the default per-job
 	// deadline, covering queue wait and fixed method overhead
 	// (default 10s).
@@ -63,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBudget <= 0 {
 		c.MaxBudget = 30 * time.Second
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxParallelism < 0 {
+		c.MaxParallelism = 1
 	}
 	if c.Grace <= 0 {
 		c.Grace = 10 * time.Second
@@ -117,6 +128,9 @@ type partitionResponse struct {
 	Cached bool       `json:"cached,omitempty"`
 	Result *ff.Result `json:"result,omitempty"`
 	Error  string     `json:"error,omitempty"`
+	// Progress reports a queued or running job's live counters: steps
+	// executed, best objective so far, portfolio width.
+	Progress *ff.Progress `json:"progress,omitempty"`
 	// Poll is the status URL for asynchronous submissions.
 	Poll string `json:"poll,omitempty"`
 }
@@ -177,7 +191,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	opt, err := req.options(s.cfg.MaxBudget)
+	opt, err := req.options(s.cfg.MaxBudget, s.cfg.MaxParallelism)
 	if err != nil {
 		s.writeRequestError(w, err)
 		return
@@ -293,6 +307,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			resp.Result = res
 		case statusFailed, statusCancelled:
 			resp.Error = err.Error()
+		default:
+			// Queued or running: surface the engine's live incumbent
+			// snapshot so pollers can watch the search converge.
+			progress := j.mon.Progress()
+			resp.Progress = &progress
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case http.MethodDelete:
