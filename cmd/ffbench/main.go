@@ -38,6 +38,8 @@ func main() {
 		seed   = fs.Int64("seed", 1, "random seed")
 		budget = fs.Duration("budget", 0, "metaheuristic budget (0 = command default)")
 		par    = fs.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
+		multi  = fs.Bool("multilevel", false, "run the metaheuristics inside a multilevel V-cycle")
+		coarse = fs.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default)")
 		scale  = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -61,10 +63,14 @@ func main() {
 		if b == 0 {
 			b = 10 * time.Second
 		}
-		rows := experiments.Table1(g, experiments.Table1Options{K: *k, Seed: *seed, MetaBudget: b, Parallelism: parallelism})
+		rows := experiments.Table1(g, experiments.Table1Options{
+			K: *k, Seed: *seed, MetaBudget: b, Parallelism: parallelism,
+			Multilevel: *multi, CoarsenTo: *coarse,
+		})
 		fmt.Println("Table 1 — comparisons between algorithms (metaheuristic budget", b, "per objective)")
 		fmt.Print(experiments.FormatTable1(rows))
 	case "figure1":
+		rejectMultilevel(cmd, *multi, *coarse)
 		b := *budget
 		if b == 0 {
 			b = 30 * time.Second
@@ -76,6 +82,7 @@ func main() {
 		fmt.Println("Figure 1 — best Mcut over time (budget", b, "per metaheuristic)")
 		fmt.Print(experiments.FormatFigure1(res))
 	case "ablation":
+		rejectMultilevel(cmd, *multi, *coarse)
 		b := *budget
 		if b == 0 {
 			b = 5 * time.Second
@@ -94,6 +101,7 @@ func main() {
 		}
 		rows, err := experiments.RunVariance(g, experiments.VarianceOptions{
 			K: *k, Budget: b, Objective: objective.MCut, Parallelism: parallelism, Workers: outer,
+			Multilevel: *multi, CoarsenTo: *coarse,
 		})
 		if err != nil {
 			fatal(err)
@@ -166,13 +174,23 @@ func withf(o core.Options, f func(*core.Options)) core.Options {
 	return o
 }
 
+// rejectMultilevel refuses -multilevel/-coarsen-to on subcommands that do
+// not thread them through, rather than silently printing flat-search
+// numbers under a V-cycle label.
+func rejectMultilevel(cmd string, multi bool, coarse int) {
+	if multi || coarse != 0 {
+		fatal(fmt.Errorf("%s does not support -multilevel/-coarsen-to (use table1 or variance)", cmd))
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance> [flags]
   table1   reproduce the paper's Table 1 (17 methods x 3 objectives)
   figure1  reproduce the paper's Figure 1 (anytime Mcut traces)
   ablation quantify fusion-fission design choices
   variance metaheuristic spread over 8 seeds (parallel runs)
-flags: -k N -seed N -budget DUR -scale paper|small`)
+flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
+       -multilevel -coarsen-to N   (table1 and variance only)`)
 	os.Exit(2)
 }
 

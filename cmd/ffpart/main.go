@@ -7,6 +7,7 @@
 //	ffpart -gen airspace -k 32 -method multilevel-bi
 //	ffpart -gen grid:64x64 -k 8 -method spectral-lanc-bi-kl
 //	ffpart -gen geometric:500:0.08 -k 16 -method annealing -budget 5s
+//	ffpart -gen geometric:10000:0.02 -k 32 -multilevel -parallelism 4
 //
 // The output file holds one part id per line, vertex order. With -out
 // omitted, only the summary is printed.
@@ -37,6 +38,8 @@ func main() {
 		budget    = flag.Duration("budget", 2*time.Second, "time budget for metaheuristics")
 		steps     = flag.Int("steps", 0, "optional step cap for metaheuristics (0 = none)")
 		par       = flag.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
+		multi     = flag.Bool("multilevel", false, "run the metaheuristic inside a multilevel V-cycle")
+		coarsenTo = flag.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default; needs -multilevel)")
 		out       = flag.String("out", "", "write the partition here (one part id per line)")
 		list      = flag.Bool("list", false, "list available methods and exit")
 	)
@@ -61,6 +64,7 @@ func main() {
 		K: *k, Method: *method, Objective: *obj,
 		Seed: *seed, Budget: *budget, MaxSteps: *steps,
 		Parallelism: parallelism,
+		Multilevel:  *multi, CoarsenTo: *coarsenTo,
 	})
 	if err != nil {
 		fatal(err)
@@ -75,6 +79,10 @@ func main() {
 	fmt.Printf("Mcut:       %.4f\n", res.Mcut)
 	fmt.Printf("imbalance:  %.2f%%\n", res.Imbalance*100)
 	fmt.Printf("elapsed:    %s\n", res.Elapsed.Round(time.Millisecond))
+	if h := res.Hierarchy; h != nil {
+		fmt.Printf("hierarchy:  %d levels, coarsest %d vertices / %d edges %v\n",
+			h.Levels, h.CoarsestVertices, h.CoarsestEdges, h.VertexCounts)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
+	"repro/internal/vcycle"
 )
 
 // Graph is the weighted undirected graph type all methods operate on.
@@ -131,6 +132,9 @@ type MethodInfo struct {
 	// Metaheuristic marks methods that target a specific objective and
 	// accept a time budget; the rest are criterion-blind and deterministic.
 	Metaheuristic bool `json:"metaheuristic"`
+	// Multilevel marks methods that honour Options.Multilevel — the
+	// engine-backed metaheuristics that can run inside the V-cycle driver.
+	Multilevel bool `json:"multilevel"`
 }
 
 // MethodInfos returns metadata for every method, Table 1 rows first, both
@@ -143,11 +147,11 @@ func MethodInfos() []MethodInfo {
 	}{{methodIDs, false}, {extensionIDs, true}} {
 		start := len(out)
 		for id, label := range group.ids {
-			meta := false
+			meta, multi := false, false
 			if spec, err := experiments.MethodByName(label); err == nil {
-				meta = spec.Metaheuristic
+				meta, multi = spec.Metaheuristic, spec.Multilevel
 			}
-			out = append(out, MethodInfo{ID: id, Label: label, Extension: group.extension, Metaheuristic: meta})
+			out = append(out, MethodInfo{ID: id, Label: label, Extension: group.extension, Metaheuristic: meta, Multilevel: multi})
 		}
 		sort.Slice(out[start:], func(i, j int) bool { return out[start+i].ID < out[start+j].ID })
 	}
@@ -199,6 +203,23 @@ type Options struct {
 	// step-capped runs any width is exactly reproducible for a given
 	// (seed, parallelism) pair.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Multilevel runs the metaheuristic inside a multilevel V-cycle: the
+	// graph is coarsened by heavy-edge matching, the search runs on the
+	// coarsest graph (where steps are cheap and moves are global), and the
+	// partition is projected up level by level with local refinement — the
+	// standard acceleration for large graphs, typically reaching a flat
+	// search's quality in a fraction of its budget. Composes with
+	// Parallelism: each worker runs its own V-cycle over one shared
+	// hierarchy and incumbents are exchanged at level boundaries. Honoured
+	// by the methods MethodInfos marks Multilevel (the engine-backed
+	// metaheuristics) and cleared for all others during normalization, the
+	// same way Parallelism is pinned for classical methods.
+	Multilevel bool `json:"multilevel,omitempty"`
+	// CoarsenTo is the V-cycle's coarsening cutoff: coarsening stops once
+	// the graph has at most this many vertices. 0 picks a default scaled to
+	// K; the cutoff is clamped to at least 2K. Meaningful only with
+	// Multilevel (cleared otherwise during normalization).
+	CoarsenTo int `json:"coarsen_to,omitempty"`
 }
 
 // normalized fills defaults and resolves the method and objective, returning
@@ -233,10 +254,23 @@ func (o Options) normalized() (Options, string, objective.Objective, error) {
 	if o.Parallelism == 0 {
 		o.Parallelism = 1
 	}
-	// Classical methods ignore the portfolio entirely; pinning their width
-	// to 1 keeps equivalent requests on identical cache/coalescing keys.
-	if spec, err := experiments.MethodByName(rowName); err == nil && !spec.Metaheuristic {
-		o.Parallelism = 1
+	if o.CoarsenTo < 0 {
+		return o, "", 0, fmt.Errorf("fusionfission: CoarsenTo=%d must be >= 0", o.CoarsenTo)
+	}
+	if spec, err := experiments.MethodByName(rowName); err == nil {
+		// Classical methods ignore the portfolio entirely; pinning their
+		// width to 1 keeps equivalent requests on identical cache/coalescing
+		// keys. Same story for the V-cycle flags on methods that don't run
+		// inside the driver.
+		if !spec.Metaheuristic {
+			o.Parallelism = 1
+		}
+		if !spec.Multilevel {
+			o.Multilevel = false
+		}
+	}
+	if !o.Multilevel {
+		o.CoarsenTo = 0
 	}
 	return o, rowName, obj, nil
 }
@@ -279,7 +313,15 @@ type Result struct {
 	// which return ctx.Err() instead of a partial partition, and for
 	// Partition, whose context never fires.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Hierarchy describes the coarsening ladder of a multilevel run —
+	// levels, per-level vertex counts, coarsest graph size. Nil unless
+	// Options.Multilevel was honoured.
+	Hierarchy *HierarchyStats `json:"hierarchy,omitempty"`
 }
+
+// HierarchyStats is the shape of a multilevel run's coarsening hierarchy,
+// reported in Result.Hierarchy.
+type HierarchyStats = vcycle.Stats
 
 // Partition cuts g into opt.K parts with the selected method.
 func Partition(g *Graph, opt Options) (*Result, error) {
@@ -350,7 +392,8 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 	start := time.Now()
 	run, err := spec.Run(ctx, g, opt.K, experiments.RunConfig{
 		Objective: obj, Budget: opt.Budget, MaxSteps: opt.MaxSteps,
-		Seed: opt.Seed, Parallelism: opt.Parallelism, Monitor: mon,
+		Seed: opt.Seed, Parallelism: opt.Parallelism,
+		Multilevel: opt.Multilevel, CoarsenTo: opt.CoarsenTo, Monitor: mon,
 	})
 	if err != nil {
 		return nil, err
@@ -358,6 +401,7 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 	p, partial := run.P, run.Partial
 	res := resultFrom(p, opt.Method, time.Since(start))
 	res.Workers = run.Workers
+	res.Hierarchy = run.Hierarchy
 	// partial is the solver's own record of having observed the
 	// cancellation. A run truncated by a deadline-clamped budget is partial
 	// too — it spent the whole clamp without reaching its step cap, and its

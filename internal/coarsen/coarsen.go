@@ -1,10 +1,20 @@
 // Package coarsen implements the graph-coarsening substrate shared by the
-// multilevel partitioner and the multilevel RQI eigensolver: repeated
-// contraction of heavy-edge matchings, preserving vertex weights and
-// accumulating parallel edge weights.
+// multilevel partitioner, the multilevel RQI eigensolver and the V-cycle
+// metaheuristic driver (package vcycle): repeated contraction of heavy-edge
+// matchings, preserving vertex weights and accumulating parallel edge
+// weights.
+//
+// Contraction loses no weight: an edge that ends up inside a coarse vertex
+// is folded into that vertex's self-loop weight (graph.Builder.AddSelfLoop),
+// and self-loop weight already present on the finer level is carried along.
+// Package partition counts self-loops toward part internal weight, so the
+// Cut, Ncut and Mcut of a coarse partition equal those of its projection to
+// any finer level exactly — which is what lets a metaheuristic optimize the
+// true objective while searching the coarsest graph.
 package coarsen
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -18,15 +28,40 @@ type Level struct {
 	Map []int32 // fine vertex id -> coarse vertex id
 }
 
+// Project maps a partition of this level's coarse graph back onto the finer
+// level: fine vertex v inherits the part of the coarse vertex it contracted
+// into. The result has one entry per finer-level vertex; coarse is not
+// modified. Because contraction folds internal weight into self-loops, the
+// projected partition has identical Cut, Ncut and Mcut (and the same
+// non-empty parts) as the coarse one.
+func (l Level) Project(coarse []int32) []int32 {
+	fine := make([]int32, len(l.Map))
+	for v := range fine {
+		fine[v] = coarse[l.Map[v]]
+	}
+	return fine
+}
+
 // HEM repeatedly contracts a heavy-edge matching (Hendrickson-Leland
 // / Karypis-Kumar style) until the graph has at most minSize vertices or the
 // reduction stalls. It returns the ladder from finest to coarsest; entry i
 // maps the vertices of graph i-1 (or of g for i == 0) onto graph i.
 func HEM(g *graph.Graph, minSize int, seed int64) []Level {
+	ladder, _ := HEMContext(context.Background(), g, minSize, seed)
+	return ladder
+}
+
+// HEMContext is HEM under cooperative cancellation: each level — one O(m)
+// matching-plus-contraction pass, the natural step boundary — polls ctx, and
+// the call returns ctx.Err() once it fires. No partial ladder is returned.
+func HEMContext(ctx context.Context, g *graph.Graph, minSize int, seed int64) ([]Level, error) {
 	r := rng.New(seed)
 	var ladder []Level
 	cur := g
 	for cur.NumVertices() > minSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		match := heavyEdgeMatching(cur, r)
 		coarse, toCoarse := contract(cur, match)
 		if coarse.NumVertices() >= cur.NumVertices() {
@@ -39,7 +74,7 @@ func HEM(g *graph.Graph, minSize int, seed int64) []Level {
 		}
 		cur = coarse
 	}
-	return ladder
+	return ladder, nil
 }
 
 // heavyEdgeMatching visits vertices in random order and matches each
@@ -75,7 +110,9 @@ func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
 
 // contract merges each matched pair into one coarse vertex. Coarse vertex
 // weights are the sums of their constituents; parallel coarse edges are
-// accumulated and self-loops dropped (their weight can never be cut).
+// accumulated; the weight of a contracted edge — which can never be cut
+// again — is folded into the coarse vertex's self-loop weight, together
+// with any self-loop weight the constituents carried from earlier levels.
 func contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
 	n := g.NumVertices()
 	toCoarse := make([]int32, n)
@@ -105,7 +142,16 @@ func contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
 		cu, cv := toCoarse[u], toCoarse[v]
 		if cu != cv {
 			b.AddEdge(int(cu), int(cv), w)
+		} else {
+			b.AddSelfLoop(int(cu), w)
 		}
 	})
+	if g.HasLoops() {
+		for v := 0; v < n; v++ {
+			if l := g.VertexLoop(v); l > 0 {
+				b.AddSelfLoop(int(toCoarse[v]), l)
+			}
+		}
+	}
 	return b.MustBuild(), toCoarse
 }

@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/rng"
 )
 
 func TestHEMReducesAndPreservesWeight(t *testing.T) {
@@ -73,4 +76,99 @@ func TestHEMEdgelessGraph(t *testing.T) {
 	if ladder := HEM(g, 2, 1); len(ladder) != 0 {
 		t.Fatalf("edgeless graph coarsened %d levels", len(ladder))
 	}
+}
+
+// TestContractConservesTotalWeight checks the folding invariant level by
+// level: edge weight never disappears, it only migrates from the adjacency
+// into coarse-vertex self-loops, and vertex weight is preserved exactly.
+func TestContractConservesTotalWeight(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid2D(20, 20)},
+		{"geometric", graph.RandomGeometric(400, 0.1, 5)},
+		{"gnp", graph.GNP(300, 0.03, 11)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			total := tc.g.TotalEdgeWeight() + tc.g.TotalLoopWeight()
+			ladder := HEM(tc.g, 25, 7)
+			if len(ladder) < 2 {
+				t.Fatalf("want a multi-level ladder, got %d levels", len(ladder))
+			}
+			for i, lvl := range ladder {
+				got := lvl.G.TotalEdgeWeight() + lvl.G.TotalLoopWeight()
+				if !almost(got, total) {
+					t.Fatalf("level %d: edge+loop weight %g, want %g", i, got, total)
+				}
+				if !almost(lvl.G.TotalVertexWeight(), tc.g.TotalVertexWeight()) {
+					t.Fatalf("level %d: vertex weight %g, want %g", i, lvl.G.TotalVertexWeight(), tc.g.TotalVertexWeight())
+				}
+			}
+		})
+	}
+}
+
+// TestProjectPreservesObjectives is the core V-cycle guarantee: a partition
+// of any coarse level, projected down to any finer level, keeps the same
+// number of non-empty parts and identical Cut, Ncut and Mcut — because the
+// internal weight folded into self-loops is counted by package partition.
+func TestProjectPreservesObjectives(t *testing.T) {
+	g := graph.RandomGeometric(600, 0.08, 3)
+	ladder := HEM(g, 40, 3)
+	if len(ladder) < 2 {
+		t.Fatalf("want a multi-level ladder, got %d levels", len(ladder))
+	}
+	const k = 7
+	coarsest := ladder[len(ladder)-1].G
+	r := rng.New(13)
+	assign := make([]int32, coarsest.NumVertices())
+	for v := range assign {
+		assign[v] = int32(r.Intn(k))
+	}
+	cp, err := partition.FromAssignment(coarsest, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCut, wantNcut, wantMcut := objective.EvaluateAll(cp)
+	wantParts := cp.NumParts()
+
+	for li := len(ladder) - 1; li >= 0; li-- {
+		assign = ladder[li].Project(assign)
+		fine := g
+		if li > 0 {
+			fine = ladder[li-1].G
+		}
+		fp, err := partition.FromAssignment(fine, assign, k)
+		if err != nil {
+			t.Fatalf("level %d: %v", li, err)
+		}
+		if fp.NumParts() != wantParts {
+			t.Fatalf("level %d: %d parts, want %d", li, fp.NumParts(), wantParts)
+		}
+		cut, ncut, mcut := objective.EvaluateAll(fp)
+		if !almost(cut, wantCut) || !almost(ncut, wantNcut) || !almost(mcut, wantMcut) {
+			t.Fatalf("level %d: (Cut,Ncut,Mcut)=(%g,%g,%g), want (%g,%g,%g)",
+				li, cut, ncut, mcut, wantCut, wantNcut, wantMcut)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("level %d: %v", li, err)
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if b > 1 || b < -1 {
+		if b < 0 {
+			scale = -b
+		} else {
+			scale = b
+		}
+	}
+	return d <= 1e-9*scale
 }

@@ -34,6 +34,42 @@ type Runtime struct {
 	exch *exchanger
 }
 
+// Solo returns a runtime that shares this one's monitor and worker index but
+// is detached from the portfolio's incumbent exchange. The multilevel
+// V-cycle hands it to the coarsest-level solver so live progress keeps
+// flowing while exchanges happen only at level boundaries (through
+// Exchange), never at the solver's own step cadence — step-cadence
+// exchanges would swap partitions of different hierarchy levels between
+// workers. A nil receiver returns nil.
+func (rt *Runtime) Solo() *Runtime {
+	if rt == nil {
+		return nil
+	}
+	return &Runtime{Monitor: rt.Monitor, Worker: rt.Worker}
+}
+
+// Exchange performs one manual incumbent exchange outside any Loop: it
+// deposits (energy, snapshot()) as this worker's current best, blocks until
+// every active worker has reached its own exchange point for this round, and
+// returns the round winner's assignment and energy if it strictly beats the
+// deposited one and came from another worker. The multilevel V-cycle calls
+// it at level boundaries — its natural phase transitions — where all workers
+// hold partitions of the same graph, so the traded assignments are
+// commensurate. Deterministic for runs whose workers reach the same
+// boundaries in the same order (step-capped V-cycles do). On a nil runtime,
+// a runtime without portfolio attachment, or after cancellation stopped the
+// exchanger, it returns (nil, 0, false) without blocking.
+func (rt *Runtime) Exchange(energy float64, snapshot func() []int32) ([]int32, float64, bool) {
+	if rt == nil || rt.exch == nil {
+		return nil, 0, false
+	}
+	win, ok := rt.exch.sync(rt.Worker, candidate{assign: snapshot(), energy: energy, worker: rt.Worker, has: true})
+	if ok && win.worker != rt.Worker && win.energy < energy {
+		return win.assign, win.energy, true
+	}
+	return nil, 0, false
+}
+
 // candidate is one worker's deposited best.
 type candidate struct {
 	assign []int32

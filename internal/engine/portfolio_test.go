@@ -215,3 +215,64 @@ func TestPortfolioMonitorAggregation(t *testing.T) {
 		t.Fatalf("progress best = %v, want 1", p.BestObjective)
 	}
 }
+
+func TestRuntimeSolo(t *testing.T) {
+	var nilRT *Runtime
+	if nilRT.Solo() != nil {
+		t.Fatal("nil.Solo() != nil")
+	}
+	mon := NewIncumbent()
+	rt := &Runtime{Monitor: mon, Worker: 3, SyncEvery: 64, exch: newExchanger(2)}
+	solo := rt.Solo()
+	if solo.Monitor != mon || solo.Worker != 3 {
+		t.Fatal("Solo dropped monitor or worker index")
+	}
+	if solo.exch != nil || solo.SyncEvery != 0 {
+		t.Fatal("Solo kept the exchange attachment")
+	}
+	// A detached runtime's Exchange is a non-blocking no-op.
+	if _, _, ok := solo.Exchange(1.0, func() []int32 { return nil }); ok {
+		t.Fatal("detached Exchange returned a winner")
+	}
+}
+
+// TestRuntimeExchangeManual drives manual (level-boundary style) exchanges
+// through a real portfolio: every worker deposits its own energy at two
+// barriers, and all workers except the best must adopt the best worker's
+// assignment.
+func TestRuntimeExchangeManual(t *testing.T) {
+	const workers = 4
+	type got struct {
+		adopted []int32
+		ok      bool
+	}
+	results := make([]got, workers)
+	_, _, err := Portfolio(context.Background(), PortfolioOptions{Workers: workers, Seed: 9},
+		func(int) float64 { return 0 },
+		func(ctx context.Context, rt *Runtime, seed int64) (int, error) {
+			own := []int32{int32(rt.Worker)}
+			// Round 1: worker w deposits energy 10+w; worker 0 wins.
+			a, _, ok := rt.Exchange(float64(10+rt.Worker), func() []int32 { return own })
+			// Round 2: all workers deposit the same improved energy; no
+			// strict improvement for anyone, so nothing is adopted.
+			if _, _, ok2 := rt.Exchange(5, func() []int32 { return own }); ok2 {
+				return 0, fmt.Errorf("worker %d adopted at equal energy", rt.Worker)
+			}
+			results[rt.Worker] = got{a, ok}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, r := range results {
+		if w == 0 {
+			if r.ok {
+				t.Fatal("the winning worker adopted its own candidate")
+			}
+			continue
+		}
+		if !r.ok || len(r.adopted) != 1 || r.adopted[0] != 0 {
+			t.Fatalf("worker %d: adopted=%v ok=%v, want worker 0's candidate", w, r.adopted, r.ok)
+		}
+	}
+}

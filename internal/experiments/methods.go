@@ -22,6 +22,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/percolation"
 	"repro/internal/spectral"
+	"repro/internal/vcycle"
 )
 
 // RunConfig carries the method-independent knobs of one solve.
@@ -41,6 +42,16 @@ type RunConfig struct {
 	// periodically exchange incumbents. Values <= 1 run the plain serial
 	// solver; classical methods always run serially.
 	Parallelism int
+	// Multilevel runs a metaheuristic inside a multilevel V-cycle (package
+	// vcycle): coarsen by heavy-edge matching, search the coarsest graph,
+	// project up with refinement per level. Under a portfolio each worker
+	// runs its own V-cycle over one shared hierarchy and incumbents are
+	// exchanged at level boundaries. Ignored by methods whose MethodSpec
+	// does not mark Multilevel support.
+	Multilevel bool
+	// CoarsenTo is the V-cycle's coarsening cutoff in vertices (0 selects
+	// vcycle.DefaultCoarsenTo(k)); meaningful only with Multilevel.
+	CoarsenTo int
 	// Monitor optionally receives live progress (steps, best objective,
 	// workers); used by the server's job-polling endpoint.
 	Monitor *engine.Incumbent
@@ -56,6 +67,10 @@ type RunResult struct {
 	// Workers is the number of portfolio workers that ran (1 for serial
 	// runs and classical methods).
 	Workers int
+	// Hierarchy describes the V-cycle's coarsening ladder when the run was
+	// multilevel (RunConfig.Multilevel on a supporting method); nil
+	// otherwise.
+	Hierarchy *vcycle.Stats
 }
 
 // MethodSpec describes one Table 1 row.
@@ -65,6 +80,11 @@ type MethodSpec struct {
 	// Metaheuristic marks the rows that target a specific objective and
 	// accept a time budget and a portfolio width.
 	Metaheuristic bool
+	// Multilevel marks the metaheuristics that can run inside the V-cycle
+	// driver (RunConfig.Multilevel). The classical multilevel rows are their
+	// own multilevel scheme and the ensemble manages its own workers, so
+	// neither carries the flag.
+	Multilevel bool
 	// Run produces a k-way partition. Every method honours ctx
 	// cooperatively: a classical method returns ctx.Err() once ctx fires,
 	// a metaheuristic stops and returns its best partition so far with
@@ -89,9 +109,9 @@ var Methods = []MethodSpec{
 	{Name: "Multilevel (Bi)", Run: runMultilevel(2)},
 	{Name: "Multilevel (Oct)", Run: runMultilevel(8)},
 	{Name: "Percolation", Run: runPercolation},
-	{Name: "Simulated annealing", Metaheuristic: true, Run: runAnneal},
-	{Name: "Ant colony", Metaheuristic: true, Run: runAntColony},
-	{Name: "Fusion Fission", Metaheuristic: true, Run: runFusionFission},
+	{Name: "Simulated annealing", Metaheuristic: true, Multilevel: true, Run: runAnneal},
+	{Name: "Ant colony", Metaheuristic: true, Multilevel: true, Run: runAntColony},
+	{Name: "Fusion Fission", Metaheuristic: true, Multilevel: true, Run: runFusionFission},
 }
 
 // ExtensionMethods lists partitioners beyond the paper's Table 1: the
@@ -118,7 +138,7 @@ var ExtensionMethods = []MethodSpec{
 		p, err := multilevel.PartitionKWayContext(ctx, g, k, multilevel.Options{Seed: cfg.Seed})
 		return serial(p), err
 	}},
-	{Name: "Genetic algorithm", Metaheuristic: true, Run: runGenetic},
+	{Name: "Genetic algorithm", Metaheuristic: true, Multilevel: true, Run: runGenetic},
 	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
 		res, err := core.EnsembleContext(ctx, g, k, core.EnsembleOptions{Base: core.Options{
 			Objective: cfg.Objective, Budget: cfg.Budget, MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: cfg.Seed,
@@ -165,6 +185,52 @@ func portfolio[R any](ctx context.Context, cfg RunConfig, syncEvery int,
 	}, energy, solve)
 }
 
+// vcSolver adapts one metaheuristic to the coarsest level of a V-cycle.
+// budget is the wall-clock share the driver grants the solve, seed the
+// portfolio worker's derived seed, rt a monitor-only runtime (or nil).
+type vcSolver func(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*partition.P, bool, error)
+
+// runVCycle runs solve inside a multilevel V-cycle, as a portfolio when
+// cfg.Parallelism asks for one: the hierarchy is coarsened once from the
+// base seed and shared by every worker, each worker V-cycles independently
+// from its derived seed, and incumbents are exchanged at level boundaries.
+func runVCycle(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, solve vcSolver) (RunResult, error) {
+	buildStart := time.Now()
+	h, err := vcycle.Build(ctx, g, cfg.CoarsenTo, k, cfg.Seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	// Coarsening time is metaheuristic wall-clock too: charge it against
+	// the budget so a multilevel solve keeps the same time envelope as a
+	// flat one. A budget the ladder ate entirely leaves a token slice — the
+	// anytime contract still owes a valid partition.
+	budget := cfg.Budget
+	if budget > 0 {
+		if budget -= time.Since(buildStart); budget < time.Millisecond {
+			budget = time.Millisecond
+		}
+	}
+	stats := h.Stats()
+	type out struct {
+		p       *partition.P
+		partial bool
+	}
+	res, workers, err := portfolio(ctx, cfg, 0, // boundary exchanges only, no step cadence
+		func(o out) float64 { return cfg.Objective.Evaluate(o.p) },
+		func(ctx context.Context, rt *engine.Runtime, seed int64) (out, error) {
+			p, partial, err := vcycle.Run(ctx, h, k, vcycle.Options{
+				Objective: cfg.Objective, Budget: budget, Runtime: rt,
+			}, func(sctx context.Context, cg *graph.Graph, k int, budget time.Duration, srt *engine.Runtime) (*partition.P, bool, error) {
+				return solve(sctx, cg, k, cfg, budget, seed, srt)
+			})
+			return out{p, partial}, err
+		})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{P: res.p, Partial: res.partial, Workers: workers, Hierarchy: &stats}, nil
+}
+
 func runLinear(arity int, kl bool) func(context.Context, *graph.Graph, int, RunConfig) (RunResult, error) {
 	return func(ctx context.Context, g *graph.Graph, k int, _ RunConfig) (RunResult, error) {
 		p, err := linear.PartitionContext(ctx, g, k, linear.Options{Arity: arity, KL: kl})
@@ -192,14 +258,15 @@ func runPercolation(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (
 }
 
 func runAnneal(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	if cfg.Multilevel {
+		return runVCycle(ctx, g, k, cfg, annealSolve)
+	}
 	// Annealing moves are cheap, so workers exchange on a coarse cadence.
 	res, workers, err := portfolio(ctx, cfg, 16_384,
 		func(r *anneal.Result) float64 { return r.Energy },
 		func(ctx context.Context, rt *engine.Runtime, seed int64) (*anneal.Result, error) {
-			return anneal.PartitionContext(ctx, g, k, anneal.Options{
-				Objective: cfg.Objective, Budget: cfg.Budget,
-				MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
-			})
+			res, err := annealSolveRes(ctx, g, k, cfg, cfg.Budget, seed, rt)
+			return res, err
 		})
 	if err != nil {
 		return RunResult{}, err
@@ -207,30 +274,60 @@ func runAnneal(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunRe
 	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
 }
 
+func annealSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*anneal.Result, error) {
+	return anneal.PartitionContext(ctx, g, k, anneal.Options{
+		Objective: cfg.Objective, Budget: budget,
+		MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+	})
+}
+
+func annealSolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*partition.P, bool, error) {
+	res, err := annealSolveRes(ctx, cg, k, cfg, budget, seed, rt)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Best, res.Cancelled, nil
+}
+
 func runAntColony(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	if cfg.Multilevel {
+		return runVCycle(ctx, g, k, cfg, antColonySolve)
+	}
 	// One step is a whole colony iteration: exchange often.
 	res, workers, err := portfolio(ctx, cfg, 32,
 		func(r *antcolony.Result) float64 { return r.Energy },
 		func(ctx context.Context, rt *engine.Runtime, seed int64) (*antcolony.Result, error) {
-			return antcolony.PartitionContext(ctx, g, k, antcolony.Options{
-				Objective: cfg.Objective, Budget: cfg.Budget,
-				Iterations: stepsOr(cfg.MaxSteps, 1_000_000), Seed: seed, Runtime: rt,
-			})
+			return antColonySolveRes(ctx, g, k, cfg, cfg.Budget, seed, rt)
 		})
 	if err != nil {
 		return RunResult{}, err
 	}
 	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
+}
+
+func antColonySolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*antcolony.Result, error) {
+	return antcolony.PartitionContext(ctx, g, k, antcolony.Options{
+		Objective: cfg.Objective, Budget: budget,
+		Iterations: stepsOr(cfg.MaxSteps, 1_000_000), Seed: seed, Runtime: rt,
+	})
+}
+
+func antColonySolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*partition.P, bool, error) {
+	res, err := antColonySolveRes(ctx, cg, k, cfg, budget, seed, rt)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Best, res.Cancelled, nil
 }
 
 func runFusionFission(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	if cfg.Multilevel {
+		return runVCycle(ctx, g, k, cfg, fusionFissionSolve)
+	}
 	res, workers, err := portfolio(ctx, cfg, 1024,
 		func(r *core.Result) float64 { return r.Energy },
 		func(ctx context.Context, rt *engine.Runtime, seed int64) (*core.Result, error) {
-			return core.PartitionContext(ctx, g, k, core.Options{
-				Objective: cfg.Objective, Budget: cfg.Budget,
-				MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
-			})
+			return fusionFissionSolveRes(ctx, g, k, cfg, cfg.Budget, seed, rt)
 		})
 	if err != nil {
 		return RunResult{}, err
@@ -238,20 +335,50 @@ func runFusionFission(ctx context.Context, g *graph.Graph, k int, cfg RunConfig)
 	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
 }
 
+func fusionFissionSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*core.Result, error) {
+	return core.PartitionContext(ctx, g, k, core.Options{
+		Objective: cfg.Objective, Budget: budget,
+		MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+	})
+}
+
+func fusionFissionSolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*partition.P, bool, error) {
+	res, err := fusionFissionSolveRes(ctx, cg, k, cfg, budget, seed, rt)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Best, res.Cancelled, nil
+}
+
 func runGenetic(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+	if cfg.Multilevel {
+		return runVCycle(ctx, g, k, cfg, geneticSolve)
+	}
 	// One step is a whole generation: exchange often.
 	res, workers, err := portfolio(ctx, cfg, 4,
 		func(r *genetic.Result) float64 { return r.Energy },
 		func(ctx context.Context, rt *engine.Runtime, seed int64) (*genetic.Result, error) {
-			return genetic.PartitionContext(ctx, g, k, genetic.Options{
-				Objective: cfg.Objective, Budget: cfg.Budget,
-				Generations: stepsOr(cfg.MaxSteps, 100_000), Seed: seed, Runtime: rt,
-			})
+			return geneticSolveRes(ctx, g, k, cfg, cfg.Budget, seed, rt)
 		})
 	if err != nil {
 		return RunResult{}, err
 	}
 	return RunResult{P: res.Best, Partial: res.Cancelled, Workers: workers}, nil
+}
+
+func geneticSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*genetic.Result, error) {
+	return genetic.PartitionContext(ctx, g, k, genetic.Options{
+		Objective: cfg.Objective, Budget: budget,
+		Generations: stepsOr(cfg.MaxSteps, 100_000), Seed: seed, Runtime: rt,
+	})
+}
+
+func geneticSolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*partition.P, bool, error) {
+	res, err := geneticSolveRes(ctx, cg, k, cfg, budget, seed, rt)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Best, res.Cancelled, nil
 }
 
 func stepsOr(steps, def int) int {

@@ -48,6 +48,11 @@ type VarianceOptions struct {
 	// concurrency is Workers x Parallelism; keep the product near the
 	// core count.
 	Parallelism int
+	// Multilevel runs each supporting metaheuristic inside a V-cycle
+	// (RunConfig.Multilevel); CoarsenTo is its coarsening cutoff (0 =
+	// default).
+	Multilevel bool
+	CoarsenTo  int
 }
 
 // RunVariance runs each selected method once per seed, in parallel, and
@@ -100,6 +105,7 @@ func RunVariance(g *graph.Graph, opt VarianceOptions) ([]VarianceRow, error) {
 				res, err := spec.Run(context.Background(), g, opt.K, RunConfig{
 					Objective: opt.Objective, Budget: opt.Budget,
 					Seed: j.seed, Parallelism: opt.Parallelism,
+					Multilevel: opt.Multilevel && spec.Multilevel, CoarsenTo: opt.CoarsenTo,
 				})
 				if err != nil {
 					results <- outcome{method: j.method, err: err}

@@ -34,6 +34,11 @@ type Table1Options struct {
 	MetaSteps int
 	// Parallelism is the metaheuristics' portfolio width (<= 1 serial).
 	Parallelism int
+	// Multilevel runs each supporting metaheuristic inside a V-cycle
+	// (RunConfig.Multilevel); CoarsenTo is its coarsening cutoff (0 =
+	// default).
+	Multilevel bool
+	CoarsenTo  int
 }
 
 // Table1 reproduces the paper's Table 1 on g: every classical method runs
@@ -63,6 +68,7 @@ func Table1(g *graph.Graph, opt Table1Options) []Table1Row {
 				res, err := m.Run(context.Background(), g, opt.K, RunConfig{
 					Objective: obj, Budget: opt.MetaBudget, MaxSteps: opt.MetaSteps,
 					Seed: opt.Seed, Parallelism: opt.Parallelism,
+					Multilevel: opt.Multilevel && m.Multilevel, CoarsenTo: opt.CoarsenTo,
 				})
 				if err != nil {
 					row.Err = err.Error()

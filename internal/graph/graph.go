@@ -19,6 +19,13 @@ import (
 
 // Graph is an immutable weighted undirected graph in CSR form.
 // Vertex weights default to 1. Edge weights must be positive.
+//
+// A vertex may additionally carry a self-loop weight. Self-loops are not
+// edges: they never appear in the adjacency, can never be cut, and exist so
+// that graph coarsening can fold the weight of contracted edges into the
+// coarse vertex instead of losing it — package partition counts them toward
+// a part's internal weight, which keeps the Ncut/Mcut denominators of a
+// coarse partition identical to those of the fine partition it projects to.
 type Graph struct {
 	xadj   []int32   // len n+1; adjacency offsets
 	adjncy []int32   // len 2m; neighbor lists
@@ -27,8 +34,10 @@ type Graph struct {
 	eu, ev []int32   // len m; endpoints of edge id e, eu[e] < ev[e]
 	ewgt   []float64 // len m; weight of edge id e
 	vwgt   []float64 // len n; vertex weights
+	lwgt   []float64 // len n or nil; self-loop weight per vertex
 	totW   float64   // sum of undirected edge weights
 	totVW  float64   // sum of vertex weights
+	totLW  float64   // sum of self-loop weights
 }
 
 // NumVertices returns the number of vertices n.
@@ -60,6 +69,23 @@ func (g *Graph) EdgeWeightOf(e int) float64 { return g.ewgt[e] }
 
 // VertexWeight returns the weight of vertex v.
 func (g *Graph) VertexWeight(v int) float64 { return g.vwgt[v] }
+
+// VertexLoop returns the self-loop weight of vertex v (0 unless the graph
+// was built with AddSelfLoop — in practice, a coarse graph whose vertex v
+// absorbed contracted edges). Unordered convention: a fine edge of weight w
+// contracted inside v contributes w here.
+func (g *Graph) VertexLoop(v int) float64 {
+	if g.lwgt == nil {
+		return 0
+	}
+	return g.lwgt[v]
+}
+
+// HasLoops reports whether any vertex carries a self-loop weight.
+func (g *Graph) HasLoops() bool { return g.lwgt != nil }
+
+// TotalLoopWeight returns the sum of all self-loop weights.
+func (g *Graph) TotalLoopWeight() float64 { return g.totLW }
 
 // TotalVertexWeight returns the sum of all vertex weights.
 func (g *Graph) TotalVertexWeight() float64 { return g.totVW }
@@ -117,6 +143,7 @@ func (g *Graph) ForEachEdgeID(fn func(e, u, v int, w float64)) {
 type Builder struct {
 	n     int
 	vwgt  []float64
+	lwgt  []float64     // nil until the first AddSelfLoop
 	edges []builderEdge // u < v normalized; parallels merged at Build time
 	err   error
 }
@@ -154,6 +181,28 @@ func (b *Builder) AddEdge(u, v int, w float64) {
 			u, v = v, u
 		}
 		b.edges = append(b.edges, builderEdge{int32(u), int32(v), w})
+	}
+}
+
+// AddSelfLoop adds w to the self-loop weight of vertex v. Self-loops are
+// deliberately separate from AddEdge (which rejects u == v): they never
+// enter the adjacency and can never be cut; they record internal weight a
+// coarsening contraction folded into v. Non-positive w and out-of-range v
+// are recorded as errors reported by Build.
+func (b *Builder) AddSelfLoop(v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	switch {
+	case v < 0 || v >= b.n:
+		b.err = fmt.Errorf("graph: self-loop vertex %d out of range [0,%d)", v, b.n)
+	case w <= 0:
+		b.err = fmt.Errorf("graph: self-loop at vertex %d has non-positive weight %g", v, w)
+	default:
+		if b.lwgt == nil {
+			b.lwgt = make([]float64, b.n)
+		}
+		b.lwgt[v] += w
 	}
 }
 
@@ -228,6 +277,10 @@ func (b *Builder) Build() (*Graph, error) {
 		ev:     make([]int32, m),
 		ewgt:   make([]float64, m),
 		vwgt:   b.vwgt,
+		lwgt:   b.lwgt,
+	}
+	for _, w := range g.lwgt {
+		g.totLW += w
 	}
 	deg := make([]int32, n)
 	for _, e := range list {

@@ -269,3 +269,57 @@ func TestCSRSymmetryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	b.AddSelfLoop(1, 3)
+	b.AddSelfLoop(1, 0.5)
+	b.AddSelfLoop(2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasLoops() {
+		t.Fatal("HasLoops = false")
+	}
+	if got := g.VertexLoop(0); got != 0 {
+		t.Fatalf("VertexLoop(0) = %g, want 0", got)
+	}
+	if got := g.VertexLoop(1); got != 3.5 {
+		t.Fatalf("VertexLoop(1) = %g, want 3.5 (accumulated)", got)
+	}
+	if got := g.TotalLoopWeight(); got != 4.5 {
+		t.Fatalf("TotalLoopWeight = %g, want 4.5", got)
+	}
+	// Loops are not edges: adjacency, edge count and edge weight unchanged.
+	if g.NumEdges() != 1 || g.TotalEdgeWeight() != 2 || g.Degree(1) != 1 {
+		t.Fatalf("loops leaked into the adjacency: m=%d totW=%g deg(1)=%d",
+			g.NumEdges(), g.TotalEdgeWeight(), g.Degree(1))
+	}
+
+	// A loop-free graph reports zeros without allocating.
+	g2 := NewBuilder(2).MustBuild()
+	if g2.HasLoops() || g2.VertexLoop(0) != 0 || g2.TotalLoopWeight() != 0 {
+		t.Fatal("loop state on a loop-free graph")
+	}
+}
+
+func TestSelfLoopErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddSelfLoop(5, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("out-of-range self-loop not rejected")
+	}
+	b = NewBuilder(2)
+	b.AddSelfLoop(0, -1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("non-positive self-loop weight not rejected")
+	}
+	// AddEdge still rejects u == v: a self-loop must be explicit.
+	b = NewBuilder(2)
+	b.AddEdge(1, 1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("AddEdge self-loop not rejected")
+	}
+}

@@ -157,11 +157,7 @@ func splitMultilevel(ctx context.Context, g *graph.Graph, kPer []int, opt Option
 		} else {
 			fine = ladder[li-1].G
 		}
-		projected := make([]int32, fine.NumVertices())
-		for v := range projected {
-			projected[v] = local[ladder[li].Map[v]]
-		}
-		local = projected
+		local = ladder[li].Project(local)
 		if !opt.DisableRefine {
 			refineLevel(ctx, fine, local, kPer, opt)
 		}

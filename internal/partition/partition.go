@@ -9,6 +9,12 @@
 // Parts are slots in [0, Capacity); slots may be empty, which is what lets
 // the fusion-fission metaheuristic vary the number of "atoms" during the
 // search without reallocating. NumParts reports the non-empty count.
+//
+// Vertex self-loop weights (graph.Graph.VertexLoop — the internal weight a
+// coarsening contraction folded into a coarse vertex) count toward the
+// internal weight of the part holding the vertex, so W(A), Ncut and Mcut of
+// a coarse partition agree exactly with those of the fine partition it
+// projects to. Loops never contribute to any cut.
 package partition
 
 import (
@@ -116,6 +122,7 @@ func (p *P) Assign(v, a int) {
 	}
 	p.size[a]++
 	p.vw[a] += p.g.VertexWeight(v)
+	p.internal[a] += p.g.VertexLoop(v)
 	p.assigned++
 	nbrs := p.g.Neighbors(v)
 	wts := p.g.Weights(v)
@@ -182,6 +189,10 @@ func (p *P) Move(v, to int) {
 	vw := p.g.VertexWeight(v)
 	p.vw[from] -= vw
 	p.vw[to] += vw
+	if l := p.g.VertexLoop(v); l != 0 {
+		p.internal[from] -= l
+		p.internal[to] += l
+	}
 }
 
 // MergeParts moves every vertex of part b into part a. No-op when a == b.
@@ -342,6 +353,7 @@ func (p *P) Validate() error {
 		assigned++
 		size[a]++
 		vw[a] += p.g.VertexWeight(v)
+		internal[a] += p.g.VertexLoop(v)
 	}
 	p.g.ForEachEdge(func(u, v int, w float64) {
 		a, b := p.part[u], p.part[v]

@@ -227,3 +227,53 @@ func TestFromAssignmentErrors(t *testing.T) {
 		t.Fatal("negative part accepted")
 	}
 }
+
+// TestLoopWeightCountsAsInternal pins the V-cycle contract: a vertex's
+// self-loop weight rides along in the internal weight of whatever part
+// holds it, through Assign, Move and Validate alike.
+func TestLoopWeightCountsAsInternal(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddSelfLoop(0, 2) // e.g. two contracted unit edges
+	b.AddSelfLoop(2, 0.5)
+	g := b.MustBuild()
+
+	p := New(g, 2)
+	p.Assign(0, 0)
+	p.Assign(1, 0)
+	p.Assign(2, 1)
+	p.Assign(3, 1)
+	// Part 0: edge {0,1} internal (1) + loop at 0 (2) => W(A) ordered = 6.
+	if got := p.PartInternalOrdered(0); got != 6 {
+		t.Fatalf("PartInternalOrdered(0) = %g, want 6", got)
+	}
+	// Part 1: edge {2,3} internal (1) + loop at 2 (0.5) => 3.
+	if got := p.PartInternalOrdered(1); got != 3 {
+		t.Fatalf("PartInternalOrdered(1) = %g, want 3", got)
+	}
+	// Loops never contribute to the cut.
+	if got := p.CrossingWeight(); got != 1 {
+		t.Fatalf("CrossingWeight = %g, want 1", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Moving vertex 2 carries its loop from part 1 to part 0.
+	p.Move(2, 0)
+	if got := p.PartInternalOrdered(1); got != 0 {
+		t.Fatalf("after move, PartInternalOrdered(1) = %g, want 0", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Move(2, 1)
+	if got := p.PartInternalOrdered(1); got != 3 {
+		t.Fatalf("after move back, PartInternalOrdered(1) = %g, want 3", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

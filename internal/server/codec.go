@@ -40,6 +40,14 @@ type PartitionRequest struct {
 	// search concurrently from derived seeds and the best result wins.
 	// Clamped to the server's configured maximum; 0 and 1 run serially.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Multilevel runs the metaheuristic inside a multilevel V-cycle
+	// (coarsen, search the coarsest graph, refine on uncoarsening) —
+	// typically much better quality per second on large graphs. Honoured by
+	// the methods GET /v1/methods marks "multilevel"; ignored by the rest.
+	Multilevel bool `json:"multilevel,omitempty"`
+	// CoarsenTo is the V-cycle coarsening cutoff in vertices (0 = a default
+	// scaled to k); meaningful only with multilevel.
+	CoarsenTo int `json:"coarsen_to,omitempty"`
 
 	// Wait selects synchronous (default) or asynchronous handling. With
 	// wait=false the server replies 202 with a job id to poll at
@@ -137,6 +145,9 @@ func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) 
 	if r.Parallelism < 0 {
 		return ff.Options{}, badRequestf("parallelism must be >= 0, got %d", r.Parallelism)
 	}
+	if r.CoarsenTo < 0 {
+		return ff.Options{}, badRequestf("coarsen_to must be >= 0, got %d", r.CoarsenTo)
+	}
 	opt := ff.Options{
 		K:           r.K,
 		Method:      r.Method,
@@ -144,6 +155,8 @@ func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) 
 		Seed:        r.Seed,
 		MaxSteps:    r.MaxSteps,
 		Parallelism: r.Parallelism,
+		Multilevel:  r.Multilevel,
+		CoarsenTo:   r.CoarsenTo,
 	}
 	if maxParallelism > 0 && opt.Parallelism > maxParallelism {
 		opt.Parallelism = maxParallelism
@@ -211,9 +224,15 @@ func graphDigest(g *graph.Graph) string {
 }
 
 // cacheKey identifies a computation: graph content plus every option that
-// influences the result (the portfolio width changes the winner, so it is
-// part of the key). Options must be normalized.
+// influences the result (the portfolio width changes the winner and the
+// V-cycle flags change the whole search trajectory, so all are part of the
+// key). Options must be normalized — normalization clears Multilevel and
+// CoarsenTo on methods that ignore them, so equivalent requests collide.
 func cacheKey(digest string, opt ff.Options) string {
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism)
+	ml := 0
+	if opt.Multilevel {
+		ml = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo)
 }

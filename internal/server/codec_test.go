@@ -59,6 +59,8 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: 2 * time.Second},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5, Parallelism: 4},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Multilevel: true},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Multilevel: true, CoarsenTo: 64},
 	} {
 		k := cacheKey(d, v)
 		if keys[k] {
@@ -104,6 +106,28 @@ func TestRequestOptionsNormalizeAndClamp(t *testing.T) {
 	}
 	if opt.Parallelism != 4 {
 		t.Fatalf("parallelism not clamped: %d", opt.Parallelism)
+	}
+
+	// V-cycle fields pass through on supporting methods and normalize away
+	// on the rest, so equivalent requests share one cache key.
+	r = PartitionRequest{K: 2, Multilevel: true, CoarsenTo: 64}
+	opt, err = r.options(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Multilevel || opt.CoarsenTo != 64 {
+		t.Fatalf("multilevel fields dropped: %+v", opt)
+	}
+	r = PartitionRequest{K: 2, Method: "multilevel-bi", Multilevel: true, CoarsenTo: 64}
+	opt, err = r.options(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Multilevel || opt.CoarsenTo != 0 {
+		t.Fatalf("multilevel fields kept on a classical method: %+v", opt)
+	}
+	if _, err := (&PartitionRequest{K: 2, CoarsenTo: -5}).options(0, 0); err == nil {
+		t.Fatal("negative coarsen_to accepted")
 	}
 }
 

@@ -526,3 +526,76 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz: %+v", got)
 	}
 }
+
+// TestMultilevelRequest exercises the V-cycle through the HTTP API: the
+// multilevel result carries hierarchy stats, lands on its own cache entry
+// (distinct from the flat request), and /v1/methods advertises which
+// methods honour the flag.
+func TestMultilevelRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req := PartitionRequest{
+		Graph:    ring(240),
+		K:        4,
+		Method:   "fusion-fission",
+		Seed:     3,
+		Budget:   "5s",
+		MaxSteps: 400,
+	}
+	code, flat := post(t, ts, req)
+	if code != http.StatusOK || flat.Result == nil {
+		t.Fatalf("flat POST: code %d, %+v", code, flat)
+	}
+	if flat.Result.Hierarchy != nil {
+		t.Fatalf("flat run reported a hierarchy: %+v", flat.Result.Hierarchy)
+	}
+
+	req.Multilevel = true
+	req.CoarsenTo = 30
+	code, ml := post(t, ts, req)
+	if code != http.StatusOK || ml.Result == nil {
+		t.Fatalf("multilevel POST: code %d, %+v", code, ml)
+	}
+	if ml.Cached {
+		t.Fatal("multilevel request hit the flat request's cache entry")
+	}
+	if ml.Result.NumParts != 4 || len(ml.Result.Parts) != 240 {
+		t.Fatalf("bad multilevel partition: %+v", ml.Result)
+	}
+	h := ml.Result.Hierarchy
+	if h == nil || h.Levels < 1 || h.CoarsestVertices >= 240 {
+		t.Fatalf("hierarchy = %+v", h)
+	}
+
+	// Identical multilevel request: cache hit with identical parts.
+	code, ml2 := post(t, ts, req)
+	if code != http.StatusOK || !ml2.Cached {
+		t.Fatalf("repeat multilevel POST not cached: code %d, %+v", code, ml2)
+	}
+	if !reflect.DeepEqual(ml.Result.Parts, ml2.Result.Parts) {
+		t.Fatal("cache returned different parts")
+	}
+
+	// /v1/methods marks V-cycle support.
+	var methods struct {
+		Methods []ff.MethodInfo `json:"methods"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/methods", &methods); code != http.StatusOK {
+		t.Fatalf("GET /v1/methods: %d", code)
+	}
+	found := map[string]bool{}
+	for _, m := range methods.Methods {
+		if m.Multilevel {
+			found[m.ID] = true
+		}
+	}
+	want := []string{"fusion-fission", "annealing", "ant-colony", "genetic"}
+	if len(found) != len(want) {
+		t.Fatalf("multilevel methods = %v, want %v", found, want)
+	}
+	for _, id := range want {
+		if !found[id] {
+			t.Fatalf("%s not marked multilevel in %v", id, found)
+		}
+	}
+}
