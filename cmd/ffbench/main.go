@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/airspace"
@@ -34,16 +35,51 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		k      = fs.Int("k", 32, "number of parts")
-		seed   = fs.Int64("seed", 1, "random seed")
-		budget = fs.Duration("budget", 0, "metaheuristic budget (0 = command default)")
-		par    = fs.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
-		multi  = fs.Bool("multilevel", false, "run the metaheuristics inside a multilevel V-cycle")
-		coarse = fs.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default)")
-		scale  = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
+		k       = fs.Int("k", 32, "number of parts")
+		seed    = fs.Int64("seed", 1, "random seed")
+		budget  = fs.Duration("budget", 0, "metaheuristic budget (0 = command default)")
+		par     = fs.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
+		multi   = fs.Bool("multilevel", false, "run the metaheuristics inside a multilevel V-cycle")
+		coarse  = fs.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default)")
+		scale   = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
+	}
+
+	// Hot-path work (solver loops, refinement sweeps) runs inside this
+	// process, so profiling a real workload needs no ad-hoc patches: any
+	// subcommand accepts -cpuprofile/-memprofile. Profiles are flushed when
+	// the command completes; a run aborted by fatal() writes none.
+	// The heap-profile defer is registered first so it runs last (LIFO),
+	// after StopCPUProfile — its runtime.GC and file write must not bleed
+	// into the tail of the CPU profile. It reports failures without
+	// os.Exit so one profile's error cannot discard the other.
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ffbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ffbench: memprofile:", err)
+			}
+		}()
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	g, err := instance(*scale, *seed)
@@ -190,7 +226,8 @@ func usage() {
   ablation quantify fusion-fission design choices
   variance metaheuristic spread over 8 seeds (parallel runs)
 flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
-       -multilevel -coarsen-to N   (table1 and variance only)`)
+       -multilevel -coarsen-to N   (table1 and variance only)
+       -cpuprofile FILE -memprofile FILE   (pprof profiles of the run)`)
 	os.Exit(2)
 }
 

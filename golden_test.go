@@ -2,6 +2,7 @@ package fusionfission
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
 )
 
 // Golden determinism anchor for the engine refactor: every method's exact
@@ -122,5 +125,36 @@ func TestGoldenMethodPartitions(t *testing.T) {
 				t.Errorf("Mcut drifted: got %.12f want %.12f", res.Mcut, want.Mcut)
 			}
 		})
+	}
+}
+
+// TestGoldenObjectiveConsistency is the justification gate for golden
+// regeneration: whatever run produced a golden entry (pre-engine full
+// evaluations or the incremental scoring layer), the recorded Mcut must be
+// the exact objective of the recorded partition, recomputed from scratch by
+// objective.Evaluate. A regenerated golden whose incremental bookkeeping
+// had drifted past 1e-9 would fail here, so a green run certifies that the
+// committed partitions and values agree with the ground-truth evaluator.
+func TestGoldenObjectiveConsistency(t *testing.T) {
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var gf goldenFile
+	if err := json.Unmarshal(buf, &gf); err != nil {
+		t.Fatal(err)
+	}
+	g := goldenGraph()
+	for id, entry := range gf.Methods {
+		p, err := partition.FromAssignment(g, entry.Parts, goldenK)
+		if err != nil {
+			t.Errorf("%s: recorded partition invalid: %v", id, err)
+			continue
+		}
+		full := objective.MCut.Evaluate(p)
+		if diff := math.Abs(full - entry.Mcut); diff > 1e-9 {
+			t.Errorf("%s: recorded Mcut %.12f vs Objective.Evaluate %.12f (|diff| %.3g > 1e-9)",
+				id, entry.Mcut, full, diff)
+		}
 	}
 }

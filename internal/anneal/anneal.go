@@ -29,6 +29,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/percolation"
 	"repro/internal/rng"
+	"repro/internal/score"
 )
 
 // Options configures the annealer. The paper emphasizes that SA is the
@@ -136,10 +137,12 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		return nil, fmt.Errorf("anneal: initial partition is for a different graph")
 	}
 
+	// The tracker scores every Metropolis proposal in O(deg v) (MoveDelta)
+	// and keeps the running smoothed objective in O(1) (Value), so the move
+	// loop never pays a full per-part evaluation.
 	eps := smoothingEps(g)
-	energy := func(p *partition.P) float64 { return opt.Objective.EvaluateSmoothed(p, eps) }
-
-	curE := energy(cur)
+	tr := score.NewTracker(cur, opt.Objective, eps)
+	curE := tr.Value()
 	best := cur.Clone()
 	bestE := curE
 	// The budget clock starts after the percolation initialization, as
@@ -153,7 +156,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	loop.Improved(bestE, best.Compact)
 
 	if opt.TMax == 0 {
-		opt.TMax = autoTemperature(cur, energy, curE, r)
+		opt.TMax = autoTemperature(tr, r)
 	}
 	if opt.TMin == 0 {
 		opt.TMin = opt.TMax / 1e4
@@ -170,6 +173,11 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 
 	t := opt.TMax
 	refused := 0
+	// Reusable candidate scratch for chooseTarget (same timestamp-mark
+	// pattern as refine.KWay): the cold-phase target draw runs once per
+	// proposal, and a per-proposal map allocation would dominate now that
+	// the evaluation itself is O(deg).
+	scratch := &targetScratch{mark: make([]int64, cur.Capacity())}
 	for loop.Next() {
 		// A portfolio peer's strictly better incumbent (delivered at the
 		// step-indexed exchange that just ran inside Next) replaces the
@@ -179,7 +187,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		// cooperating too.
 		if p, ok := adoptForeign(loop, g, cur, bestE); ok {
 			cur = p
-			curE = energy(cur)
+			tr = score.NewTracker(cur, opt.Objective, eps)
+			curE = tr.Value()
 			if curE < bestE {
 				bestE = curE
 				best.CopyFrom(cur)
@@ -192,9 +201,11 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			}
 			// The paper notes metaheuristics "can run infinitely": with a
 			// time budget, freezing restarts the annealing from the best
-			// solution at full temperature.
+			// solution at full temperature. CopyFrom bypasses the tracker,
+			// so resync it.
 			cur.CopyFrom(best)
-			curE = bestE
+			tr.Rebuild()
+			curE = tr.Value()
 			t = opt.TMax
 			refused = 0
 		}
@@ -203,29 +214,31 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		if cur.PartSize(from) <= 1 {
 			continue // never empty a part: k is fixed for SA
 		}
-		to := chooseTarget(cur, v, t, opt, r)
+		to := chooseTarget(cur, v, t, opt, scratch, r)
 		if to < 0 || to == from {
 			continue
 		}
 		if cur.PartVertexWeight(to)+g.VertexWeight(v) > maxPartVW {
 			continue
 		}
-		cur.Move(v, to)
-		newE := energy(cur)
-		accept := newE <= curE
+		// One O(deg v) delta replaces the old Move + full smoothed
+		// evaluation + un-Move; a refused proposal now costs no mutation
+		// at all.
+		delta := tr.MoveDelta(v, from, to)
+		accept := delta <= 0
 		if !accept {
 			// Boltzmann: exp((e(s)-e(s'))/T) vs uniform draw.
-			accept = r.Float64() < boltzmann(curE-newE, t)
+			accept = r.Float64() < boltzmann(-delta, t)
 		}
 		if accept {
-			curE = newE
+			tr.Apply(v, to)
+			curE = tr.Value()
 			if curE < bestE {
 				bestE = curE
 				best.CopyFrom(cur)
 				loop.Improved(bestE, best.Compact)
 			}
 		} else {
-			cur.Move(v, from)
 			refused++
 			if refused >= opt.RefusalLimit {
 				t *= opt.CoolRatio // equilibrium reached: cool
@@ -252,9 +265,18 @@ func adoptForeign(loop *engine.Loop, g *graph.Graph, cur *partition.P, bestE flo
 	return p, true
 }
 
+// targetScratch is chooseTarget's reusable candidate-dedup storage:
+// mark[b] == stamp means part b was already collected for the current
+// proposal, so no per-proposal map or slice is allocated.
+type targetScratch struct {
+	mark  []int64
+	stamp int64
+	cands []int
+}
+
 // chooseTarget picks the destination part per the paper: the
 // lowest-internal-weight part when hot, a random connected part when cold.
-func chooseTarget(p *partition.P, v int, t float64, opt Options, r interface{ Intn(int) int }) int {
+func chooseTarget(p *partition.P, v int, t float64, opt Options, s *targetScratch, r interface{ Intn(int) int }) int {
 	if t > opt.TMax*opt.HighTempFraction {
 		bestPart, bestW := -1, 0.0
 		for _, a := range p.NonEmptyParts() {
@@ -268,19 +290,20 @@ func chooseTarget(p *partition.P, v int, t float64, opt Options, r interface{ In
 		return bestPart
 	}
 	// Random part among those v is connected to.
-	var cands []int
-	seen := map[int]bool{p.Part(v): true}
+	s.stamp++
+	s.mark[p.Part(v)] = s.stamp
+	s.cands = s.cands[:0]
 	for _, u := range p.Graph().Neighbors(v) {
 		b := p.Part(int(u))
-		if b != partition.Unassigned && !seen[b] {
-			seen[b] = true
-			cands = append(cands, b)
+		if b != partition.Unassigned && s.mark[b] != s.stamp {
+			s.mark[b] = s.stamp
+			s.cands = append(s.cands, b)
 		}
 	}
-	if len(cands) == 0 {
+	if len(s.cands) == 0 {
 		return -1
 	}
-	return cands[r.Intn(len(cands))]
+	return s.cands[r.Intn(len(s.cands))]
 }
 
 func boltzmann(deltaNeg, t float64) float64 {
@@ -295,13 +318,15 @@ func boltzmann(deltaNeg, t float64) float64 {
 }
 
 // autoTemperature estimates the typical |energy delta| of a random move by
-// probing trial moves (undone immediately) and returns half the *median*
-// magnitude: warm enough to accept mild uphill moves, cold enough that the
-// search behaves like descent with perturbations. The median (not the mean)
-// matters because degenerate seed partitions produce a few enormous deltas
-// that would otherwise turn the whole run into a random walk. This stands in
-// for the paper's per-run hand tuning of tmax.
-func autoTemperature(cur *partition.P, energy func(*partition.P) float64, curE float64, r *rand.Rand) float64 {
+// probing trial moves (score.Tracker.MoveDelta: no mutation, no full
+// re-evaluation) and returns half the *median* magnitude: warm enough to
+// accept mild uphill moves, cold enough that the search behaves like
+// descent with perturbations. The median (not the mean) matters because
+// degenerate seed partitions produce a few enormous deltas that would
+// otherwise turn the whole run into a random walk. This stands in for the
+// paper's per-run hand tuning of tmax.
+func autoTemperature(tr *score.Tracker, r *rand.Rand) float64 {
+	cur := tr.Partition()
 	g := cur.Graph()
 	n := g.NumVertices()
 	var deltas []float64
@@ -321,9 +346,7 @@ func autoTemperature(cur *partition.P, energy func(*partition.P) float64, curE f
 		if to < 0 {
 			continue
 		}
-		cur.Move(v, to)
-		d := energy(cur) - curE
-		cur.Move(v, from)
+		d := tr.MoveDelta(v, from, to)
 		if d < 0 {
 			d = -d
 		}

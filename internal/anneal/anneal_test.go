@@ -123,7 +123,7 @@ func TestChooseTargetHotPicksStarving(t *testing.T) {
 	g := graph.Path(6)
 	p, _ := partition.FromAssignment(g, []int32{0, 0, 1, 1, 2, 1}, 3)
 	opt := Options{TMax: 1.0}.withDefaults()
-	got := chooseTarget(p, 0, opt.TMax, opt, nil) // hot: never needs rng
+	got := chooseTarget(p, 0, opt.TMax, opt, nil, nil) // hot: never needs rng or scratch
 	if got != 2 {
 		t.Fatalf("hot target = %d, want the starving part 2", got)
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/percolation"
 	"repro/internal/refine"
 	"repro/internal/rng"
+	"repro/internal/score"
 )
 
 // Options configures the colony search.
@@ -182,7 +183,6 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	}
 
 	eps := 1e-6 * (2 * g.TotalEdgeWeight() / float64(n))
-	energyOf := func(p *partition.P) float64 { return opt.Objective.EvaluateSmoothed(p, eps) }
 
 	// Soft balance cap (see anneal): plain Cut would otherwise collapse the
 	// ownership into one giant colony.
@@ -194,7 +194,11 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 
 	cur := init.Clone()
 	best := init.Clone()
-	bestE := energyOf(best)
+	// Ownership moves flow through the tracker, so the smoothed objective
+	// of the current ownership is an O(1) read per iteration instead of a
+	// per-part scan.
+	tr := score.NewTracker(cur, opt.Objective, eps)
+	bestE := tr.Value()
 	loop := engine.NewLoop(ctx, engine.LoopOptions{
 		Budget: opt.Budget, MaxSteps: opt.Iterations,
 		PollEvery: 1, BudgetEvery: 8, ProgressEvery: 1,
@@ -210,7 +214,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		if assign, fe, ok := loop.Foreign(); ok && fe < bestE {
 			if p, err := partition.FromAssignment(g, assign, cur.Capacity()); err == nil {
 				cur = p
-				if e := energyOf(cur); e < bestE && cur.NumParts() == k {
+				tr = score.NewTracker(cur, opt.Objective, eps)
+				if e := tr.Value(); e < bestE && cur.NumParts() == k {
 					bestE = e
 					best.CopyFrom(cur)
 					loop.Improved(bestE, best.Compact)
@@ -269,7 +274,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			}
 		}
 		// Ownership: strongest incident pheromone wins; ties keep owner.
-		reassignByPheromone(g, tau, cur, maxPartVW)
+		reassignByPheromone(g, tau, tr, maxPartVW)
 		// Centralized daemon action (the optional third step of section
 		// 3.2): periodically smooth the ownership boundary with one greedy
 		// refinement pass and lay pheromone along the improved interior so
@@ -278,13 +283,14 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			refine.KWay(cur, refine.KWayOptions{
 				Objective: opt.Objective, MaxPasses: 1, Imbalance: capFactor - 1, Ctx: ctx,
 			})
+			tr.Rebuild() // the refinement pass mutated cur behind the tracker
 			g.ForEachEdgeID(func(eid, u, v int, w float64) {
 				if a := cur.Part(u); a == cur.Part(v) {
 					tau[a][eid] += depositQ
 				}
 			})
 		}
-		if e := energyOf(cur); e < bestE && cur.NumParts() == k {
+		if e := tr.Value(); e < bestE && cur.NumParts() == k {
 			bestE = e
 			best.CopyFrom(cur)
 			loop.Improved(bestE, best.Compact)
@@ -302,10 +308,12 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 }
 
 // reassignByPheromone recomputes vertex ownership from the pheromone fields,
-// mutating cur. A move that would empty a part or push the receiving colony
-// past the balance cap is skipped so every colony keeps a foothold (k stays
+// committing each move through the tracker so the running objective stays
+// current. A move that would empty a part or push the receiving colony past
+// the balance cap is skipped so every colony keeps a foothold (k stays
 // fixed, as Table 1 requires) and no colony swallows the graph.
-func reassignByPheromone(g *graph.Graph, tau [][]float64, cur *partition.P, maxPartVW float64) {
+func reassignByPheromone(g *graph.Graph, tau [][]float64, tr *score.Tracker, maxPartVW float64) {
+	cur := tr.Partition()
 	n := g.NumVertices()
 	k := len(tau)
 	for v := 0; v < n; v++ {
@@ -328,7 +336,7 @@ func reassignByPheromone(g *graph.Graph, tau [][]float64, cur *partition.P, maxP
 		}
 		if int(bestC) != cur.Part(v) && cur.PartSize(cur.Part(v)) > 1 &&
 			cur.PartVertexWeight(int(bestC))+g.VertexWeight(v) <= maxPartVW {
-			cur.Move(v, int(bestC))
+			tr.Apply(v, int(bestC))
 		}
 	}
 }

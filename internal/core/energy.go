@@ -4,6 +4,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
+	"repro/internal/score"
 )
 
 // Energy scaling (section 4.1). The objective functions of section 1 are
@@ -15,6 +16,13 @@ import (
 // penalty rises steeply (light nuclei: binding energy climbs fast), above K
 // it rises gently (heavy nuclei: slow decline). At exactly K the penalty is
 // 1, so energies there are the raw objective values reported in Table 1.
+//
+// The model is a thin binding-energy wrapper over the shared scoring layer
+// (internal/score): whole-molecule energies delegate to the smoothed
+// objective, per-move deltas to score.Delta. Fusion-fission bulk-mutates
+// and wholesale-replaces its molecule between delta queries (fissions,
+// merges, foreign adoptions), so the stateless score.Delta fits here where
+// a bound score.Tracker would be perpetually stale.
 
 type energyModel struct {
 	obj    objective.Objective
@@ -55,41 +63,10 @@ func (e *energyModel) raw(p *partition.P) float64 {
 	return e.obj.Evaluate(p)
 }
 
-// term returns one part's smoothed objective contribution from its cut and
-// ordered internal weight.
-func (e *energyModel) term(cut, w float64) float64 {
-	switch e.obj {
-	case objective.Cut:
-		return cut
-	case objective.NCut:
-		if d := cut + w + e.eps; d > 0 {
-			return cut / d
-		}
-		return 0
-	default: // MCut
-		return cut / (w + e.eps)
-	}
-}
-
-// moveDelta returns the change of the smoothed objective if vertex v moved
-// from part a to part b, in O(deg v), without mutating p. Both parts must be
+// moveDelta returns the change of the scaled energy if vertex v moved from
+// part a to part b, in O(deg v), without mutating p. Both parts must be
 // non-empty and the move must not empty a (the part count, and hence the
 // binding-energy penalty, stays constant).
 func (e *energyModel) moveDelta(p *partition.P, v, a, b int) float64 {
-	g := p.Graph()
-	connA := p.ConnectionToPart(v, a)
-	connB := p.ConnectionToPart(v, b)
-	degO := g.WeightedDegree(v) - connA - connB
-
-	cutA, wA := p.PartCut(a), p.PartInternalOrdered(a)
-	cutB, wB := p.PartCut(b), p.PartInternalOrdered(b)
-	before := e.term(cutA, wA) + e.term(cutB, wB)
-	// Leaving a: internal v-a edges become crossing; v's crossing edges no
-	// longer touch a. Entering b symmetrically.
-	cutA2 := cutA + connA - connB - degO
-	wA2 := wA - 2*connA
-	cutB2 := cutB + connA - connB + degO
-	wB2 := wB + 2*connB
-	after := e.term(cutA2, wA2) + e.term(cutB2, wB2)
-	return (after - before) * e.penalty(p.NumParts())
+	return score.Delta(p, e.obj, e.eps, v, a, b) * e.penalty(p.NumParts())
 }

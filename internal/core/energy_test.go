@@ -70,17 +70,6 @@ func TestMoveDeltaMatchesFullEvaluation(t *testing.T) {
 	}
 }
 
-func TestTermMatchesObjectiveShape(t *testing.T) {
-	g := graph.Cycle(8)
-	e := newEnergyModel(g, objective.MCut, 2)
-	// cut=2, W=6 per part on the bisected cycle: term = 2/(6+eps).
-	got := e.term(2, 6)
-	want := 2.0 / (6.0 + e.eps)
-	if math.Abs(got-want) > 1e-12 {
-		t.Fatalf("term = %g, want %g", got, want)
-	}
-}
-
 func TestSigmoidChoiceRuns(t *testing.T) {
 	g := graph.Grid2D(8, 8)
 	res, err := Partition(g, 4, Options{Seed: 2, MaxSteps: 1500, Choice: ChoiceSigmoid})

@@ -169,15 +169,24 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			child := crossover(pa.assign, pb.assign, k, r)
 			mutate(child, k, opt.MutationRate, r)
 			repair(g, child, k, r)
+			fit, scored := 0.0, false
 			if !opt.DisableLocalSearch {
 				if p, err := partition.FromAssignment(g, child, k); err == nil {
+					// The memetic local search scores its candidate moves
+					// incrementally (score.Tracker inside KWay); the refined
+					// partition is then scored directly rather than rebuilt
+					// from the assignment a second time.
 					refine.KWay(p, refine.KWayOptions{
 						Objective: opt.Objective, MaxPasses: 1, Imbalance: 0.5, Ctx: ctx,
 					})
 					child = p.Assignment()
+					fit, scored = opt.Objective.EvaluateSmoothed(p, eps), true
 				}
 			}
-			next = append(next, individual{assign: child, fitness: fitnessOf(child)})
+			if !scored {
+				fit = fitnessOf(child)
+			}
+			next = append(next, individual{assign: child, fitness: fit})
 		}
 		if loop.Cancelled() {
 			// Keep the last fully-evaluated generation: pop is sorted and

@@ -83,25 +83,38 @@ func (o Objective) EvaluateSmoothed(p *partition.P, eps float64) float64 {
 func (o Objective) eval(p *partition.P, eps float64) float64 {
 	total := 0.0
 	for _, a := range p.NonEmptyParts() {
-		cut := p.PartCut(a)
-		switch o {
-		case Cut:
-			total += cut
-		case NCut:
-			assoc := cut + p.PartInternalOrdered(a) + eps
-			if assoc > 0 {
-				total += cut / assoc
-			}
-		case MCut:
-			w := p.PartInternalOrdered(a) + eps
-			if w > 0 {
-				total += cut / w
-			} else if cut > 0 {
-				return math.Inf(1)
-			}
-		}
+		total += o.Term(p.PartCut(a), p.PartInternalOrdered(a), eps)
 	}
 	return total
+}
+
+// Term returns one part's contribution to the smoothed objective from its
+// cut and ordered internal weight W(A): cut itself for Cut,
+// cut/(cut+W+eps) for Ncut, cut/(W+eps) for Mcut — +Inf for the eps = 0
+// Mcut degenerate state (positive cut, no internal weight), 0 for a part
+// with nothing (so empty parts contribute nothing). This is the single
+// source of truth for the per-part summand: Evaluate sums it over the
+// non-empty parts in ascending order, and the incremental scoring layer
+// (internal/score) caches it per part — the two agree bit-for-bit because
+// they share this function.
+func (o Objective) Term(cut, w, eps float64) float64 {
+	switch o {
+	case Cut:
+		return cut
+	case NCut:
+		if d := cut + w + eps; d > 0 {
+			return cut / d
+		}
+		return 0
+	default: // MCut
+		if d := w + eps; d > 0 {
+			return cut / d
+		}
+		if cut > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
 }
 
 // EvaluateAll returns all three objectives of p in Table 1 column order.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
+	"repro/internal/score"
 )
 
 // BisectOptions configures KL and FM.
@@ -486,6 +487,18 @@ type KWayOptions struct {
 // KWay greedily moves boundary vertices to the neighboring part that most
 // improves the objective, respecting balance and never emptying a part.
 // It mutates p in place and returns the final objective value.
+//
+// Candidate moves are scored through a score.Tracker: each candidate costs
+// one O(deg v) hypothetical evaluation (score.Tracker.MoveValue) instead of
+// the Move + full O(k) Objective.Evaluate + un-Move scan this loop used to
+// pay, so a sweep is O(n·deg) rather than O(n·deg·k).
+//
+// Part-count invariant: maxW is derived from p.NumParts() at entry only,
+// and that is sound because a sweep can never change the part count — the
+// PartSize guard below refuses to move the last vertex out of a part, and
+// every destination is a neighbor's (hence non-empty) part, so no part is
+// emptied and no new part appears. KWay therefore returns with exactly as
+// many non-empty parts as it started with.
 func KWay(p *partition.P, opt KWayOptions) float64 {
 	if opt.Imbalance == 0 {
 		opt.Imbalance = 0.10
@@ -500,13 +513,25 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 		return opt.Objective.Evaluate(p)
 	}
 	maxW := g.TotalVertexWeight() / float64(k) * (1 + opt.Imbalance)
-	cur := opt.Objective.Evaluate(p)
+	tr := score.NewTracker(p, opt.Objective, 0)
+	cur := tr.Value()
+
+	// Reusable candidate scratch: mark[b] == stamp means part b has already
+	// been collected for the current vertex, and connW[b] accumulates v's
+	// edge weight into b during the same scan. One allocation per KWay call
+	// replaces the map[int]bool plus cands slice the old loop allocated for
+	// every vertex of every pass — and with the connections in hand, each
+	// candidate is evaluated in O(1) (MoveValueConn) instead of re-scanning
+	// v's neighborhood per candidate.
+	mark := make([]int64, p.Capacity())
+	connW := make([]float64, p.Capacity())
+	cands := make([]int, 0, 16)
+	stamp := int64(0)
 
 	for pass := 0; pass < opt.MaxPasses && !cancelled(opt.Ctx); pass++ {
 		improved := false
 		for v := 0; v < n; v++ {
-			// Sweeps re-evaluate the objective per candidate move, so a
-			// single pass over a large graph is long; poll mid-pass too.
+			// A pass over a large graph is still long; poll mid-pass too.
 			if v&511 == 0 && cancelled(opt.Ctx) {
 				return cur
 			}
@@ -514,15 +539,27 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 			if p.PartSize(from) <= 1 {
 				continue
 			}
-			// Candidate parts: those v is connected to.
-			var cands []int
-			seen := map[int]bool{from: true}
-			for _, u := range g.Neighbors(v) {
+			// Candidate parts (those v is connected to) and the connection
+			// weight to each, in a single adjacency scan.
+			stamp++
+			mark[from] = stamp
+			connW[from] = 0
+			cands = cands[:0]
+			assigned := 0.0
+			wts := g.Weights(v)
+			for i, u := range g.Neighbors(v) {
 				b := p.Part(int(u))
-				if b != partition.Unassigned && !seen[b] {
-					seen[b] = true
+				if b == partition.Unassigned {
+					continue
+				}
+				w := wts[i]
+				assigned += w
+				if mark[b] != stamp {
+					mark[b] = stamp
+					connW[b] = 0
 					cands = append(cands, b)
 				}
+				connW[b] += w
 			}
 			vw := g.VertexWeight(v)
 			bestPart, bestVal := -1, cur
@@ -530,15 +567,15 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 				if p.PartVertexWeight(to)+vw > maxW {
 					continue
 				}
-				p.Move(v, to)
-				if val := opt.Objective.Evaluate(p); val < bestVal-1e-12 {
+				val := tr.MoveValueConn(v, from, to,
+					connW[from], connW[to], assigned-connW[from]-connW[to])
+				if val < bestVal-1e-12 {
 					bestVal, bestPart = val, to
 				}
-				p.Move(v, from)
 			}
 			if bestPart >= 0 {
-				p.Move(v, bestPart)
-				cur = bestVal
+				tr.Apply(v, bestPart)
+				cur = tr.Value()
 				improved = true
 			}
 		}

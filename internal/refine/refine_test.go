@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -195,5 +196,71 @@ func TestKWaySinglePartNoOp(t *testing.T) {
 	p, _ := partition.FromAssignment(g, []int32{0, 0, 0, 0, 0}, 1)
 	if got := KWay(p, KWayOptions{}); got != 0 {
 		t.Fatalf("single-part KWay = %g", got)
+	}
+}
+
+// TestKWayNeverEmptiesParts is the regression test for the part-count
+// invariant KWay's maxW computation relies on: maxW is derived from
+// p.NumParts() at entry only, which is sound because no sweep may empty a
+// part (the last vertex of a part is never moved) or create one (every
+// destination is a neighbor's non-empty part). Random graphs, random skewed
+// partitions, every objective: the non-empty part count after KWay must
+// equal the count at entry, even when tiny parts sit next to huge ones.
+func TestKWayNeverEmptiesParts(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		g := graph.GNP(40+r.Intn(40), 0.15, seed)
+		n := g.NumVertices()
+		k := 2 + r.Intn(6)
+		assign := make([]int32, n)
+		for v := range assign {
+			// Skewed sizes: most vertices in part 0, the rest scattered, so
+			// some parts enter as near-singletons (the emptying hazard).
+			if r.Intn(3) > 0 {
+				assign[v] = 0
+			} else {
+				assign[v] = int32(r.Intn(k))
+			}
+		}
+		for a := 0; a < k; a++ {
+			assign[r.Intn(n)] = int32(a) // every part non-empty
+		}
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry := p.NumParts()
+		for _, obj := range objective.All {
+			q := p.Clone()
+			KWay(q, KWayOptions{Objective: obj, MaxPasses: 3})
+			if got := q.NumParts(); got != entry {
+				t.Fatalf("seed %d obj %v: KWay changed part count %d -> %d", seed, obj, entry, got)
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatalf("seed %d obj %v: %v", seed, obj, err)
+			}
+		}
+	}
+}
+
+// TestKWayReturnMatchesEvaluate: the value KWay reports from its incremental
+// tracker must agree with a from-scratch evaluation of the final partition.
+func TestKWayReturnMatchesEvaluate(t *testing.T) {
+	r := rng.New(12)
+	g := graph.RandomGeometric(300, 0.1, 12)
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(r.Intn(6))
+	}
+	for _, obj := range objective.All {
+		p, err := partition.FromAssignment(g, assign, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := KWay(p, KWayOptions{Objective: obj})
+		want := obj.Evaluate(p)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("obj %v: KWay returned %.15g, Evaluate says %.15g", obj, got, want)
+		}
 	}
 }

@@ -1,0 +1,282 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// randomGraph builds a random graph exercising every feature the tracker
+// must account for: irregular topology, non-uniform edge weights, weighted
+// vertices, and (on odd seeds) self-loop weights like the ones coarsening
+// folds into coarse vertices.
+func randomGraph(seed int64) *graph.Graph {
+	r := rng.New(seed)
+	n := 8 + r.Intn(40)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n, 1+4*r.Float64()) // ring keeps it connected
+		for t := 0; t < 2; t++ {
+			v := r.Intn(n)
+			if v != u {
+				b.AddEdge(u, v, 0.25+2*r.Float64())
+			}
+		}
+		if r.Intn(2) == 0 {
+			b.SetVertexWeight(u, 0.5+2*r.Float64())
+		}
+		if seed%2 == 1 && r.Intn(3) == 0 {
+			b.AddSelfLoop(u, 0.5+3*r.Float64())
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestTrackerMatchesEvaluateSmoothed is the tentpole property: after long
+// random Assign / Apply (move) sequences — all three objectives, graphs
+// with and without self-loops, weighted vertices — Value() agrees with a
+// full EvaluateSmoothed within 1e-9, and Rebuild() restores exact equality.
+func TestTrackerMatchesEvaluateSmoothed(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		g := randomGraph(seed)
+		n := g.NumVertices()
+		k := 2 + r.Intn(5)
+		for _, obj := range objective.All {
+			for _, eps := range []float64{1e-6, 0.37} {
+				p := partition.New(g, k+2)
+				tr := NewTracker(p, obj, eps)
+				// Interleave first assignments with moves of already-placed
+				// vertices, all through the tracker.
+				placed := 0
+				order := make([]int, n)
+				rng.Perm(r, order)
+				for step := 0; step < 6*n; step++ {
+					if placed < n && (placed == 0 || r.Intn(3) > 0) {
+						tr.Assign(order[placed], r.Intn(k))
+						placed++
+					} else {
+						v := order[r.Intn(placed)]
+						tr.Apply(v, r.Intn(k+2))
+					}
+					if step%13 != 0 {
+						continue
+					}
+					got, want := tr.Value(), obj.EvaluateSmoothed(p, eps)
+					if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+						t.Logf("seed %d obj %v eps %g step %d: Value %.15g vs EvaluateSmoothed %.15g",
+							seed, obj, eps, step, got, want)
+						return false
+					}
+				}
+				tr.Rebuild()
+				if got, want := tr.Value(), obj.EvaluateSmoothed(p, eps); got != want {
+					t.Logf("seed %d obj %v: Rebuild not exact: %.17g vs %.17g", seed, obj, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveValuePredictsCommittedValue: the hypothetical O(deg) evaluation
+// must agree with actually committing the move and re-evaluating in full.
+func TestMoveValuePredictsCommittedValue(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		g := randomGraph(seed)
+		n := g.NumVertices()
+		k := 2 + r.Intn(5)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+		}
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			return false
+		}
+		for _, obj := range objective.All {
+			tr := NewTracker(p, obj, 1e-6)
+			for trial := 0; trial < 30; trial++ {
+				v := r.Intn(n)
+				from, to := p.Part(v), r.Intn(k)
+				if from == to {
+					continue
+				}
+				basePre := tr.Value()
+				predicted := tr.MoveValue(v, from, to)
+				delta := tr.MoveDelta(v, from, to)
+				// MoveDelta is MoveValue relative to the current Value.
+				if math.Abs(delta-(predicted-basePre)) > 1e-12*(1+math.Abs(predicted)+math.Abs(basePre)) {
+					t.Logf("seed %d obj %v: MoveDelta %.15g != MoveValue-Value %.15g", seed, obj, delta, predicted-basePre)
+					return false
+				}
+				tr.Apply(v, to)
+				want := obj.EvaluateSmoothed(p, 1e-6)
+				// Committed value vs full evaluation of the same state: the
+				// headline agreement, valid in every state.
+				if got := tr.Value(); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Logf("seed %d obj %v: committed Value %.15g vs %.15g", seed, obj, got, want)
+					return false
+				}
+				tr.Apply(v, from) // restore
+				// Hypothetical-vs-committed agreement is only well-conditioned
+				// away from near-degenerate smoothed terms: a term near
+				// cut/eps amplifies ulp-level statistic differences (the
+				// partition updates its sums in adjacency order, the
+				// prediction in formula order) by ~cut/eps². Such states are
+				// covered by the Value checks above and the sequence test.
+				if math.Abs(want) > 1e5 {
+					continue
+				}
+				tol := 1e-9 * (1 + math.Abs(want) + math.Abs(basePre))
+				if math.Abs(predicted-want) > tol {
+					t.Logf("seed %d obj %v: MoveValue %.15g vs %.15g", seed, obj, predicted, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatelessDeltaMatchesEvaluation mirrors the Tracker property for the
+// package-level Delta used by fusion-fission's nucleon relaxation.
+func TestStatelessDeltaMatchesEvaluation(t *testing.T) {
+	r := rng.New(3)
+	g := randomGraph(5) // odd seed: self-loops included
+	n := g.NumVertices()
+	const k = 4
+	assign := make([]int32, n)
+	for v := range assign {
+		assign[v] = int32(r.Intn(k))
+	}
+	p, err := partition.FromAssignment(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for _, obj := range objective.All {
+		for trial := 0; trial < 60; trial++ {
+			v := r.Intn(n)
+			from, to := p.Part(v), r.Intn(k)
+			if from == to || p.PartSize(from) <= 1 {
+				continue
+			}
+			d := Delta(p, obj, eps, v, from, to)
+			before := obj.EvaluateSmoothed(p, eps)
+			p.Move(v, to)
+			after := obj.EvaluateSmoothed(p, eps)
+			p.Move(v, from)
+			if want := after - before; math.Abs(d-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("obj %v trial %d: Delta %.15g, full-eval difference %.15g", obj, trial, d, want)
+			}
+		}
+	}
+}
+
+// TestTrackerInfiniteStates: with eps = 0, an Mcut part with positive cut
+// and zero internal weight makes the objective +Inf; the tracker must agree
+// with Evaluate, recover when the state is repaired, and order hypothetical
+// moves usefully while infinite.
+func TestTrackerInfiniteStates(t *testing.T) {
+	// Path of 4 vertices: 0-1-2-3. Parts {0}, {1,2,3}: part 0 is a
+	// singleton with cut 1 and no internal weight.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	p, err := partition.FromAssignment(g, []int32{0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(p, objective.MCut, 0)
+	if !math.IsInf(tr.Value(), 1) {
+		t.Fatalf("Value = %g, want +Inf", tr.Value())
+	}
+	if got := objective.MCut.Evaluate(p); !math.IsInf(got, 1) {
+		t.Fatalf("Evaluate = %g: test premise broken", got)
+	}
+	// Moving vertex 1 into part 0 gives parts {0,1} and {2,3}: both have
+	// internal weight, so the objective becomes finite again.
+	if v := tr.MoveValue(1, 1, 0); math.IsInf(v, 1) {
+		t.Fatalf("MoveValue(repairing move) = %g, want finite", v)
+	}
+	if d := tr.MoveDelta(1, 1, 0); !math.IsInf(d, -1) {
+		t.Fatalf("MoveDelta(repairing move) = %g, want -Inf", d)
+	}
+	tr.Apply(1, 0)
+	if got, want := tr.Value(), objective.MCut.Evaluate(p); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("after repair: Value %.17g, Evaluate %.17g", got, want)
+	}
+	// And back: recreating the degenerate part must flip Value back to +Inf.
+	if d := tr.MoveDelta(1, 0, 1); !math.IsInf(d, 1) {
+		t.Fatalf("MoveDelta(degenerating move) = %g, want +Inf", d)
+	}
+	tr.Apply(1, 1)
+	if !math.IsInf(tr.Value(), 1) {
+		t.Fatalf("Value = %g after degenerating move, want +Inf", tr.Value())
+	}
+}
+
+// TestTermShape pins the per-part term semantics the core energy model
+// used to implement privately, now owned by objective.Term (the single
+// source of truth the tracker shares with Evaluate): the smoothed Mcut
+// summand is cut/(W+eps).
+func TestTermShape(t *testing.T) {
+	eps := 1e-3 // a variable, so the wanted values are computed at runtime
+	if got, want := objective.MCut.Term(2, 6, eps), 2.0/(6.0+eps); got != want {
+		t.Fatalf("Mcut term = %g, want %g", got, want)
+	}
+	if got, want := objective.NCut.Term(2, 6, eps), 2.0/(2.0+6.0+eps); got != want {
+		t.Fatalf("Ncut term = %g, want %g", got, want)
+	}
+	if got := objective.Cut.Term(2, 6, eps); got != 2 {
+		t.Fatalf("Cut term = %g, want 2", got)
+	}
+}
+
+// TestDeterministicRebuildCadence: the automatic resummation happens purely
+// on operation count, so two identical runs see identical Values at every
+// step — including the steps right around the cadence boundary.
+func TestDeterministicRebuildCadence(t *testing.T) {
+	run := func() []float64 {
+		r := rng.New(11)
+		g := randomGraph(7)
+		n := g.NumVertices()
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(3))
+		}
+		p, err := partition.FromAssignment(g, assign, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTracker(p, objective.MCut, 1e-6)
+		vals := make([]float64, 0, rebuildEvery+64)
+		for i := 0; i < rebuildEvery+64; i++ {
+			tr.Apply(r.Intn(n), r.Intn(3))
+			vals = append(vals, tr.Value())
+		}
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: %.17g vs %.17g — rebuild cadence not deterministic", i, a[i], b[i])
+		}
+	}
+}
