@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/anneal"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -80,6 +81,15 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	// The anneal hot-loop probe runs on the BENCH_anneal.json acceptance
+	// instance, not the airspace graph, so its steps/second is directly
+	// comparable to the committed baseline; -cpuprofile then shows whether
+	// the proposal loop is flat (no frame outside scoring above 20%).
+	if cmd == "anneal" {
+		runAnnealSteps(*k, *seed, *budget)
+		return
 	}
 
 	g, err := instance(*scale, *seed)
@@ -165,6 +175,27 @@ func instance(scale string, seed int64) (*graph.Graph, error) {
 	return nil, fmt.Errorf("unknown scale %q", scale)
 }
 
+// runAnnealSteps times the simulated-annealing proposal loop end to end on
+// the 10k-vertex random-geometric graph the committed BENCH_anneal.json is
+// measured on (percolation init and auto-temperature probe included).
+func runAnnealSteps(k int, seed int64, budget time.Duration) {
+	g := graph.RandomGeometric(10_000, 0.02, 1)
+	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d\n",
+		g.NumVertices(), g.NumEdges(), k, seed)
+	if budget == 0 {
+		budget = 5 * time.Second // freezing restarts: sustained hot/cold cycles
+	}
+	steps := 200_000_000
+	start := time.Now()
+	res, err := anneal.Partition(g, k, anneal.Options{Seed: seed, MaxSteps: steps, Budget: budget})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("anneal: %d steps in %.2fs = %.0f steps/s; best Mcut %.6f\n",
+		res.Steps, elapsed, float64(res.Steps)/elapsed, res.Energy)
+}
+
 // runAblation quantifies the fusion-fission design choices DESIGN.md calls
 // out: percolation fission vs random splits, law learning vs uniform laws,
 // and the value of letting the part count drift.
@@ -220,11 +251,12 @@ func rejectMultilevel(cmd string, multi bool, coarse int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance|anneal> [flags]
   table1   reproduce the paper's Table 1 (17 methods x 3 objectives)
   figure1  reproduce the paper's Figure 1 (anytime Mcut traces)
   ablation quantify fusion-fission design choices
   variance metaheuristic spread over 8 seeds (parallel runs)
+  anneal   time the SA proposal loop on the BENCH_anneal.json instance
 flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
        -multilevel -coarsen-to N   (table1 and variance only)
        -cpuprofile FILE -memprofile FILE   (pprof profiles of the run)`)

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+	"unsafe"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -31,6 +32,16 @@ import (
 	"repro/internal/rng"
 	"repro/internal/score"
 )
+
+// ExplicitZero marks an Options field as deliberately zero. The zero value
+// of Options must keep selecting the documented defaults, which makes a
+// literal 0 for CoolRatio, RefusalLimit or HighTempFraction inexpressible —
+// it would be silently replaced by the default. Setting any negative value
+// (this constant reads best) normalizes to a true 0 instead: CoolRatio 0
+// freezes at the first equilibrium, RefusalLimit 0 declares equilibrium at
+// every refused move, HighTempFraction 0 disables the high-temperature
+// targeting phase entirely (the run is "always cold").
+const ExplicitZero = -1
 
 // Options configures the annealer. The paper emphasizes that SA is the
 // simplest method to tune, with a single main parameter (TMax).
@@ -43,13 +54,17 @@ type Options struct {
 	// TMin is the freezing point (default TMax/1e4; the paper uses 0 with
 	// a step budget, we freeze a little above to terminate).
 	TMin float64
-	// CoolRatio is the geometric cooling factor (default 0.97).
+	// CoolRatio is the geometric cooling factor (default 0.97; a negative
+	// value — ExplicitZero — means a true 0: freeze at first equilibrium).
 	CoolRatio float64
 	// RefusalLimit is the number of refused moves that declares
-	// equilibrium at the current temperature (default 48).
+	// equilibrium at the current temperature (default 48; a negative value
+	// — ExplicitZero — means a true 0: cool at every refused move).
 	RefusalLimit int
 	// HighTempFraction: above TMax*HighTempFraction the perturbation
-	// targets the lowest-internal-weight part (default 0.5).
+	// targets the lowest-internal-weight part (default 0.5; a negative
+	// value — ExplicitZero — means a true 0: the high-temperature phase is
+	// disabled and every proposal uses the cold random-connected-part draw).
 	HighTempFraction float64
 	// MaxSteps caps the number of proposed moves (default 200k).
 	MaxSteps int
@@ -71,14 +86,23 @@ func (o Options) withDefaults() Options {
 	// magnitude inside Partition (the paper tunes tmax by hand per run; an
 	// absolute default cannot fit Cut's ~1e3 deltas and Ncut's ~1e-2 deltas
 	// at the same time).
-	if o.CoolRatio == 0 {
+	switch {
+	case o.CoolRatio == 0:
 		o.CoolRatio = 0.97
+	case o.CoolRatio < 0:
+		o.CoolRatio = 0 // ExplicitZero: freeze at the first equilibrium
 	}
-	if o.RefusalLimit == 0 {
+	switch {
+	case o.RefusalLimit == 0:
 		o.RefusalLimit = 48
+	case o.RefusalLimit < 0:
+		o.RefusalLimit = 0 // ExplicitZero: cool at every refused move
 	}
-	if o.HighTempFraction == 0 {
+	switch {
+	case o.HighTempFraction == 0:
 		o.HighTempFraction = 0.5
+	case o.HighTempFraction < 0:
+		o.HighTempFraction = 0 // ExplicitZero: always cold
 	}
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 200_000
@@ -156,7 +180,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	loop.Improved(bestE, best.Compact)
 
 	if opt.TMax == 0 {
-		opt.TMax = autoTemperature(tr, r)
+		opt.TMax = autoTemperature(tr, opt.Objective, eps, r)
 	}
 	if opt.TMin == 0 {
 		opt.TMin = opt.TMax / 1e4
@@ -170,6 +194,9 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		capFactor = 1.3
 	}
 	maxPartVW := capFactor * g.TotalVertexWeight() / float64(k)
+	// Unit vertex weights let the balance check use the constant 1.0 instead
+	// of a random 8-byte load per proposal (bit-identical; see graph docs).
+	unitVW := g.UnitVertexWeights()
 
 	t := opt.TMax
 	refused := 0
@@ -218,7 +245,11 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		if to < 0 || to == from {
 			continue
 		}
-		if cur.PartVertexWeight(to)+g.VertexWeight(v) > maxPartVW {
+		vw := 1.0
+		if !unitVW {
+			vw = g.VertexWeight(v)
+		}
+		if cur.PartVertexWeight(to)+vw > maxPartVW {
 			continue
 		}
 		// One O(deg v) delta replaces the old Move + full smoothed
@@ -276,34 +307,54 @@ type targetScratch struct {
 
 // chooseTarget picks the destination part per the paper: the
 // lowest-internal-weight part when hot, a random connected part when cold.
-func chooseTarget(p *partition.P, v int, t float64, opt Options, s *targetScratch, r interface{ Intn(int) int }) int {
-	if t > opt.TMax*opt.HighTempFraction {
-		bestPart, bestW := -1, 0.0
-		for _, a := range p.NonEmptyParts() {
-			if a == p.Part(v) {
-				continue
-			}
-			if w := p.PartInternalOrdered(a); bestPart < 0 || w < bestW {
-				bestPart, bestW = a, w
-			}
-		}
-		return bestPart
+// Both branches are allocation-free: the hot target is the partition's
+// incrementally-maintained argmin (same lowest-W, lowest-id ordering as the
+// former NonEmptyParts scan, without the per-proposal slice allocation and
+// O(k) PartInternalOrdered sweep), and the cold draw reuses the
+// timestamp-mark scratch.
+func chooseTarget(p *partition.P, v int, t float64, opt Options, s *targetScratch, r *rand.Rand) int {
+	if opt.HighTempFraction > 0 && t > opt.TMax*opt.HighTempFraction {
+		return p.MinInternalPart(p.Part(v))
 	}
-	// Random part among those v is connected to.
+	// Random part among those v is connected to. The neighbor scan reads
+	// the int16 assignment mirror when one exists — same reasoning as the
+	// scoring scan: half the footprint, no per-read accessor branch.
 	s.stamp++
-	s.mark[p.Part(v)] = s.stamp
-	s.cands = s.cands[:0]
-	for _, u := range p.Graph().Neighbors(v) {
-		b := p.Part(int(u))
-		if b != partition.Unassigned && s.mark[b] != s.stamp {
-			s.mark[b] = s.stamp
-			s.cands = append(s.cands, b)
+	stamp := s.stamp
+	mark := s.mark
+	cands := s.cands[:0]
+	mark[p.Part(v)] = stamp
+	nbrs := p.Graph().Neighbors(v)
+	if pv := p.PartView16(); pv != nil && len(mark) > 0 {
+		// Adjacency entries index vertices and assigned parts index mark by
+		// construction, so both lookups skip the bound checks the compiler
+		// cannot prove away (see score.moveConns for the same pattern).
+		pp := unsafe.Pointer(&pv[0])
+		mp := unsafe.Pointer(&mark[0])
+		for _, u := range nbrs {
+			b := int(*(*int16)(unsafe.Add(pp, uintptr(uint32(u))*2)))
+			if b != partition.Unassigned {
+				mb := (*int64)(unsafe.Add(mp, uintptr(uint32(b))*8))
+				if *mb != stamp {
+					*mb = stamp
+					cands = append(cands, b)
+				}
+			}
+		}
+	} else {
+		for _, u := range nbrs {
+			b := p.Part(int(u))
+			if b != partition.Unassigned && mark[b] != stamp {
+				mark[b] = stamp
+				cands = append(cands, b)
+			}
 		}
 	}
-	if len(s.cands) == 0 {
+	s.cands = cands
+	if len(cands) == 0 {
 		return -1
 	}
-	return s.cands[r.Intn(len(s.cands))]
+	return cands[r.Intn(len(cands))]
 }
 
 func boltzmann(deltaNeg, t float64) float64 {
@@ -324,13 +375,15 @@ func boltzmann(deltaNeg, t float64) float64 {
 // descent with perturbations. The median (not the mean) matters because
 // degenerate seed partitions produce a few enormous deltas that would
 // otherwise turn the whole run into a random walk. This stands in for the
-// paper's per-run hand tuning of tmax.
-func autoTemperature(tr *score.Tracker, r *rand.Rand) float64 {
+// paper's per-run hand tuning of tmax. The probe buffer is a fixed-size
+// stack array, so the estimate allocates nothing.
+func autoTemperature(tr *score.Tracker, obj objective.Objective, eps float64, r *rand.Rand) float64 {
 	cur := tr.Partition()
 	g := cur.Graph()
 	n := g.NumVertices()
-	var deltas []float64
-	for attempt := 0; attempt < 300 && len(deltas) < 96; attempt++ {
+	var deltas [96]float64
+	count := 0
+	for attempt := 0; attempt < 300 && count < len(deltas); attempt++ {
 		v := r.Intn(n)
 		from := cur.Part(v)
 		if cur.PartSize(from) <= 1 {
@@ -351,15 +404,61 @@ func autoTemperature(tr *score.Tracker, r *rand.Rand) float64 {
 			d = -d
 		}
 		if d > 0 {
-			deltas = append(deltas, d)
+			deltas[count] = d
+			count++
 		}
 	}
-	if len(deltas) == 0 {
-		return 1.0
+	if count == 0 {
+		return fallbackTemperature(cur, obj, eps)
 	}
-	sort.Float64s(deltas)
-	return 0.5 * deltas[len(deltas)/2]
+	ds := deltas[:count]
+	sort.Float64s(ds)
+	return 0.5 * ds[count/2]
 }
+
+// fallbackTemperature stands in when every probe came back delta-free —
+// parts that are whole components, zero-delta grids, tiny parts. The old
+// literal 1.0 was scale-blind: Cut deltas on the paper instances are ~1e3
+// while Ncut's are ~1e-2, so the same constant was glacial for one
+// objective and a random walk for the other. Instead, perturb the mean
+// part's cut by one mean weighted degree — the objective's own Term reports
+// what such a typical single-vertex move would cost at this graph's scale —
+// and warm to half of that, mirroring the median path.
+func fallbackTemperature(cur *partition.P, obj objective.Objective, eps float64) float64 {
+	g := cur.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return smallestTemperature
+	}
+	meanWDeg := 2 * g.TotalEdgeWeight() / float64(n)
+	var cut, w float64
+	parts := 0
+	for a := 0; a < cur.Capacity(); a++ {
+		if cur.PartSize(a) == 0 {
+			continue
+		}
+		cut += cur.PartCut(a)
+		w += cur.PartInternalOrdered(a)
+		parts++
+	}
+	if parts > 0 {
+		cut /= float64(parts)
+		w /= float64(parts)
+	}
+	scale := math.Abs(obj.Term(cut+meanWDeg, w, eps) - obj.Term(cut, w, eps))
+	if !(scale > 0) { // degenerate (edgeless, Inf or NaN terms): fall to eps
+		scale = eps
+	}
+	if !(scale > 0) {
+		return smallestTemperature
+	}
+	return 0.5 * scale
+}
+
+// smallestTemperature is the floor of the derived fallback: a weightless
+// graph has no objective scale at all, and any positive temperature keeps
+// the schedule well-formed (TMin = TMax/1e4 > 0, Boltzmann finite).
+const smallestTemperature = 1e-12
 
 // smoothingEps returns a smoothing epsilon small relative to the mean
 // weighted degree, keeping Mcut finite for degenerate intermediate states.

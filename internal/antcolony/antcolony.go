@@ -150,16 +150,18 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	}
 
 	m := g.NumEdges()
-	tau := make([][]float64, k)
-	for c := range tau {
-		tau[c] = make([]float64, m)
-	}
+	// Flat pheromone field, indexed tau[e*k+c]: the k colony values of one
+	// edge are contiguous, so the ownership scan (k sums over each vertex's
+	// incident edges) walks consecutive memory instead of striding m floats
+	// between colonies. Per-colony float accumulation order is everywhere
+	// preserved, so the layout change is bit-identical.
+	tau := make([]float64, m*k)
 	// Seed pheromone along the internal edges of the initial partition.
 	owner := make([]int32, n)
 	copy(owner, init.Assignment())
 	g.ForEachEdgeID(func(eid, u, v int, w float64) {
 		if owner[u] == owner[v] && owner[u] >= 0 {
-			tau[owner[u]][eid] = 0.5
+			tau[eid*k+int(owner[u])] = 0.5
 		}
 	})
 
@@ -206,6 +208,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	})
 	loop.Improved(bestE, best.Compact)
 	probs := make([]float64, 0, 64)
+	colonySums := make([]float64, k) // reassignByPheromone scratch
 
 	for loop.Next() {
 		// A portfolio peer found a strictly better partition: adopt it as
@@ -222,7 +225,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 				}
 				g.ForEachEdgeID(func(eid, u, v int, w float64) {
 					if a := cur.Part(u); a == cur.Part(v) {
-						tau[a][eid] += eliteQ
+						tau[eid*k+a] += eliteQ
 					}
 				})
 			}
@@ -246,7 +249,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 					eids := g.ArcEdgeIDs(at)
 					probs = probs[:0]
 					for i := range nbrs {
-						ph := tau[c][eids[i]]
+						ph := tau[int(eids[i])*k+c]
 						attract := math.Pow(ph+tau0, opt.Alpha) *
 							math.Pow(wts[i]/maxW+0.1, opt.Beta)
 						if ph < exploreTau {
@@ -261,20 +264,18 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 					next := int(nbrs[pick])
 					// Food at the destination: its weighted degree.
 					food := g.WeightedDegree(next) / maxWDeg
-					tau[c][eids[pick]] += depositQ * food
+					tau[int(eids[pick])*k+c] += depositQ * food
 					at = next
 				}
 			}
 		}
-		// Evaporate.
-		for c := 0; c < k; c++ {
-			col := tau[c]
-			for e := range col {
-				col[e] *= 1 - opt.Rho
-			}
+		// Evaporate. Element-wise scaling is order-independent, so one pass
+		// over the flat field matches the old per-colony loops exactly.
+		for i := range tau {
+			tau[i] *= 1 - opt.Rho
 		}
 		// Ownership: strongest incident pheromone wins; ties keep owner.
-		reassignByPheromone(g, tau, tr, maxPartVW)
+		reassignByPheromone(g, tau, k, colonySums, tr, maxPartVW)
 		// Centralized daemon action (the optional third step of section
 		// 3.2): periodically smooth the ownership boundary with one greedy
 		// refinement pass and lay pheromone along the improved interior so
@@ -286,7 +287,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			tr.Rebuild() // the refinement pass mutated cur behind the tracker
 			g.ForEachEdgeID(func(eid, u, v int, w float64) {
 				if a := cur.Part(u); a == cur.Part(v) {
-					tau[a][eid] += depositQ
+					tau[eid*k+a] += depositQ
 				}
 			})
 		}
@@ -297,7 +298,7 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			// Elitist reinforcement of the new best partition's interior.
 			g.ForEachEdgeID(func(eid, u, v int, w float64) {
 				if a := best.Part(u); a == best.Part(v) {
-					tau[a][eid] += eliteQ
+					tau[eid*k+a] += eliteQ
 				}
 			})
 		}
@@ -312,26 +313,32 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 // current. A move that would empty a part or push the receiving colony past
 // the balance cap is skipped so every colony keeps a foothold (k stays
 // fixed, as Table 1 requires) and no colony swallows the graph.
-func reassignByPheromone(g *graph.Graph, tau [][]float64, tr *score.Tracker, maxPartVW float64) {
+func reassignByPheromone(g *graph.Graph, tau []float64, k int, sums []float64, tr *score.Tracker, maxPartVW float64) {
 	cur := tr.Partition()
 	n := g.NumVertices()
-	k := len(tau)
 	for v := 0; v < n; v++ {
 		eids := g.ArcEdgeIDs(v)
-		bestC, bestS := int32(cur.Part(v)), 0.0
-		for _, e := range eids {
-			bestS += tau[bestC][e]
+		// One pass over the incident edges accumulates all k colony sums
+		// from contiguous k-wide rows of the flat field. Each colony's
+		// terms are still added in incident-edge order, so every sum is
+		// bit-identical to the former per-colony loops.
+		for c := range sums {
+			sums[c] = 0
 		}
+		for _, e := range eids {
+			row := tau[int(e)*k : int(e)*k+k]
+			for c, ph := range row {
+				sums[c] += ph
+			}
+		}
+		bestC := int32(cur.Part(v))
+		bestS := sums[bestC]
 		for c := 0; c < k; c++ {
 			if c == int(bestC) {
 				continue
 			}
-			s := 0.0
-			for _, e := range eids {
-				s += tau[c][e]
-			}
-			if s > bestS {
-				bestC, bestS = int32(c), s
+			if sums[c] > bestS {
+				bestC, bestS = int32(c), sums[c]
 			}
 		}
 		if int(bestC) != cur.Part(v) && cur.PartSize(cur.Part(v)) > 1 &&

@@ -16,6 +16,8 @@ package coarsen
 import (
 	"context"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -80,6 +82,19 @@ func HEMContext(ctx context.Context, g *graph.Graph, minSize int, seed int64) ([
 // heavyEdgeMatching visits vertices in random order and matches each
 // unmatched vertex with its unmatched neighbor of maximum edge weight.
 // match[v] == v for unmatched vertices.
+//
+// The matching is computed speculate-then-commit so the O(m) neighbor scans
+// — the V-cycle's serial prefix — run on every core while the result stays
+// bit-identical to the serial algorithm. At the start of a pass every
+// vertex is unmatched, so each vertex's first candidate (its heaviest
+// neighbor under the serial scan's first-index-of-maximum tie-break) is a
+// pure function of the graph; speculateHeaviest computes them in parallel.
+// The commit pass then walks the random order exactly as the serial code
+// did: a speculative candidate that is still unmatched IS the serial
+// choice — the unmatched set only shrinks during a pass, so the heaviest
+// neighbor in the start-of-pass superset, if still unmatched, is also the
+// first-index maximum over the current subset — and a candidate that was
+// matched in the meantime falls back to the serial rescan.
 func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
 	n := g.NumVertices()
 	match := make([]int32, n)
@@ -88,17 +103,14 @@ func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
 	}
 	order := make([]int, n)
 	rng.Perm(r, order)
+	spec := speculateHeaviest(g)
 	for _, v := range order {
 		if match[v] != int32(v) {
 			continue
 		}
-		nbrs := g.Neighbors(v)
-		wts := g.Weights(v)
-		best, bestW := -1, 0.0
-		for i, u := range nbrs {
-			if match[u] == u && int(u) != v && wts[i] > bestW {
-				best, bestW = int(u), wts[i]
-			}
+		best := int(spec[v])
+		if best >= 0 && match[best] != int32(best) {
+			best = rescanHeaviest(g, match, v)
 		}
 		if best >= 0 {
 			match[v] = int32(best)
@@ -106,6 +118,69 @@ func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
 		}
 	}
 	return match
+}
+
+// parallelMatchMin is the vertex count below which speculateHeaviest stays
+// on one goroutine: under it, spawn and synchronization overhead exceeds
+// the scan work. The result is schedule-independent either way.
+const parallelMatchMin = 4096
+
+// speculateHeaviest returns, per vertex, the neighbor the serial heavy-edge
+// scan would pick on an all-unmatched graph: the first index of the maximum
+// edge weight, -1 for isolated vertices. Pure function of g, computed on
+// contiguous vertex ranges across GOMAXPROCS goroutines; each worker writes
+// a disjoint slice range, so the output is deterministic for any schedule.
+func speculateHeaviest(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	spec := make([]int32, n)
+	scan := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nbrs := g.Neighbors(v)
+			wts := g.Weights(v)
+			best, bestW := -1, 0.0
+			for i, u := range nbrs {
+				if int(u) != v && wts[i] > bestW {
+					best, bestW = int(u), wts[i]
+				}
+			}
+			spec[v] = int32(best)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < parallelMatchMin {
+		scan(0, n)
+		return spec
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return spec
+}
+
+// rescanHeaviest is the serial fallback when a speculative candidate was
+// matched before v's turn: the original scan over currently unmatched
+// neighbors, first-index-of-maximum tie-break.
+func rescanHeaviest(g *graph.Graph, match []int32, v int) int {
+	nbrs := g.Neighbors(v)
+	wts := g.Weights(v)
+	best, bestW := -1, 0.0
+	for i, u := range nbrs {
+		if match[u] == u && int(u) != v && wts[i] > bestW {
+			best, bestW = int(u), wts[i]
+		}
+	}
+	return best
 }
 
 // contract merges each matched pair into one coarse vertex. Coarse vertex

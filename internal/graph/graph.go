@@ -35,9 +35,12 @@ type Graph struct {
 	ewgt   []float64 // len m; weight of edge id e
 	vwgt   []float64 // len n; vertex weights
 	lwgt   []float64 // len n or nil; self-loop weight per vertex
+	wdeg   []float64 // len n; weighted degree per vertex (self-loops excluded)
 	totW   float64   // sum of undirected edge weights
 	totVW  float64   // sum of vertex weights
 	totLW  float64   // sum of self-loop weights
+	unitEW bool      // every edge weight is exactly 1
+	unitVW bool      // every vertex weight is exactly 1
 }
 
 // NumVertices returns the number of vertices n.
@@ -93,14 +96,23 @@ func (g *Graph) TotalVertexWeight() float64 { return g.totVW }
 // TotalEdgeWeight returns the sum of all undirected edge weights.
 func (g *Graph) TotalEdgeWeight() float64 { return g.totW }
 
-// WeightedDegree returns d(v) = sum of the weights of edges incident to v.
-func (g *Graph) WeightedDegree(v int) float64 {
-	d := 0.0
-	for _, w := range g.Weights(v) {
-		d += w
-	}
-	return d
-}
+// WeightedDegree returns d(v) = sum of the weights of edges incident to v,
+// precomputed at construction so per-move hot paths read it in O(1).
+func (g *Graph) WeightedDegree(v int) float64 { return g.wdeg[v] }
+
+// UnitEdgeWeights reports whether every edge weight is exactly 1.0, detected
+// at construction. Per-move scoring loops use it to count incident edges with
+// integer arithmetic instead of loading the weight array: a sum of 1.0s below
+// 2^53 equals the float64 of its count exactly, so the fast path is
+// bit-identical while touching half the memory.
+func (g *Graph) UnitEdgeWeights() bool { return g.unitEW }
+
+// UnitVertexWeights reports whether every vertex weight is exactly 1.0,
+// detected at construction. Hot loops use it to substitute the constant 1.0
+// for the random vwgt load their vertex draw would otherwise pay — the array
+// outgrows L1 on large graphs, and the substituted arithmetic is
+// bit-identical.
+func (g *Graph) UnitVertexWeights() bool { return g.unitVW }
 
 // EdgeWeight returns the weight of edge {u,v} and whether it exists.
 // It scans the shorter of the two adjacency lists.
@@ -307,6 +319,31 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	for _, w := range g.vwgt {
 		g.totVW += w
+	}
+	// Weighted degrees, summed in adjacency order — the exact accumulation
+	// the per-call loop used before precomputation, so the values are
+	// bit-identical.
+	g.wdeg = make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := 0.0
+		for _, w := range g.adjwgt[g.xadj[v]:g.xadj[v+1]] {
+			d += w
+		}
+		g.wdeg[v] = d
+	}
+	g.unitEW = true
+	for _, w := range g.ewgt {
+		if w != 1 {
+			g.unitEW = false
+			break
+		}
+	}
+	g.unitVW = true
+	for _, w := range g.vwgt {
+		if w != 1 {
+			g.unitVW = false
+			break
+		}
 	}
 	return g, nil
 }

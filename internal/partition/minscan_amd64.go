@@ -1,0 +1,19 @@
+//go:build amd64
+
+package partition
+
+import "os"
+
+// useAVX2 gates the vector argmin kernel, probed once at startup.
+var useAVX2 = x86HasAVX2() && os.Getenv("FF_NOAVX2") == ""
+
+// x86HasAVX2 reports whether the CPU and OS support AVX2 with YMM state.
+// Implemented in minscan_amd64.s.
+func x86HasAVX2() bool
+
+// minKeyScanAVX2 returns the minimum bit-mapped key in keys[0:n] and the
+// lowest index holding it, treating keys[exclude] as emptyMinKey without
+// touching the array (pass a negative exclude for a plain scan). Requires
+// n >= 8 and useAVX2; callers fall back to minKeyScanGeneric otherwise.
+// Implemented in minscan_amd64.s.
+func minKeyScanAVX2(p *uint64, n, exclude int) (mk uint64, idx int)

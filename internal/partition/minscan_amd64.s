@@ -1,0 +1,196 @@
+// AVX2 kernel for the incremental-argmin key scan. The keys are the
+// bit-mapped uint64 images of float64 internal weights (see minKeyOf):
+// unsigned integer order on the keys is exactly weight order, and unsigned
+// order equals signed order after XOR-ing the high bit, which is what lets
+// the kernel use VPCMPGTQ (AVX2 has no unsigned 64-bit compare or min).
+//
+// The scan is one pass with vector index tracking: two independent
+// (min, argmin) lane chains so the blend dependency chains overlap, each
+// window's lanes carrying their real element indexes. The excluded slot is
+// neutralized in-register — its lane is OR-ed to the sentinel after the
+// load — rather than by storing a sentinel into the array, because an
+// 8-byte store immediately before a 32-byte vector load of the same line
+// stalls on failed store-to-load forwarding. Ragged tails reload the last
+// four keys; the duplicated lanes carry their true indexes and the merge
+// is strict, so duplicates can change neither the minimum nor the
+// lowest-index tie-break.
+
+#include "textflag.h"
+
+DATA ·minScanIdxInit+0(SB)/8, $0
+DATA ·minScanIdxInit+8(SB)/8, $1
+DATA ·minScanIdxInit+16(SB)/8, $2
+DATA ·minScanIdxInit+24(SB)/8, $3
+GLOBL ·minScanIdxInit(SB), RODATA|NOPTR, $32
+
+DATA ·minScanIdxInitB+0(SB)/8, $4
+DATA ·minScanIdxInitB+8(SB)/8, $5
+DATA ·minScanIdxInitB+16(SB)/8, $6
+DATA ·minScanIdxInitB+24(SB)/8, $7
+GLOBL ·minScanIdxInitB(SB), RODATA|NOPTR, $32
+
+DATA ·minScanSign+0(SB)/8, $0x8000000000000000
+GLOBL ·minScanSign(SB), RODATA|NOPTR, $8
+
+DATA ·minScanEight+0(SB)/8, $8
+GLOBL ·minScanEight(SB), RODATA|NOPTR, $8
+
+// func minKeyScanAVX2(p *uint64, n int, exclude int) (mk uint64, idx int)
+// Requires n >= 8 and AVX2 support (gated by useAVX2).
+TEXT ·minKeyScanAVX2(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+
+	VPBROADCASTQ exclude+16(FP), Y15 // excluded index, all lanes
+	VPBROADCASTQ ·minScanSign(SB), Y0 // sign-flip constant
+	VPBROADCASTQ ·minScanEight(SB), Y14 // index increment per iteration
+	VMOVDQU ·minScanIdxInit(SB), Y5 // lane indexes of window A: [0 1 2 3]
+	VMOVDQU ·minScanIdxInitB(SB), Y6 // lane indexes of window B: [4 5 6 7]
+
+	// Prime both chains from the first eight keys.
+	VMOVDQU (SI), Y1
+	VPCMPEQQ Y5, Y15, Y8
+	VPOR Y8, Y1, Y1 // excluded lane -> unsigned sentinel
+	VPXOR Y0, Y1, Y1 // signed domain; sentinel -> int64 max
+	VMOVDQA Y5, Y3
+	VMOVDQU 32(SI), Y2
+	VPCMPEQQ Y6, Y15, Y8
+	VPOR Y8, Y2, Y2
+	VPXOR Y0, Y2, Y2
+	VMOVDQA Y6, Y4
+
+	MOVQ $8, DX
+loop8:
+	LEAQ 8(DX), BX
+	CMPQ BX, CX
+	JG   tails
+	VPADDQ Y14, Y5, Y5
+	VPADDQ Y14, Y6, Y6
+	VMOVDQU (SI)(DX*8), Y7
+	VPCMPEQQ Y5, Y15, Y8
+	VPOR Y8, Y7, Y7
+	VPXOR Y0, Y7, Y7
+	VPCMPGTQ Y7, Y1, Y9 // lanes where window A improves chain A
+	VBLENDVPD Y9, Y7, Y1, Y1
+	VBLENDVPD Y9, Y5, Y3, Y3
+	VMOVDQU 32(SI)(DX*8), Y10
+	VPCMPEQQ Y6, Y15, Y11
+	VPOR Y11, Y10, Y10
+	VPXOR Y0, Y10, Y10
+	VPCMPGTQ Y10, Y2, Y12
+	VBLENDVPD Y12, Y10, Y2, Y2
+	VBLENDVPD Y12, Y6, Y4, Y4
+	MOVQ BX, DX
+	JMP  loop8
+tails:
+	MOVQ CX, BX
+	SUBQ DX, BX
+	CMPQ BX, $4
+	JL   tail1
+	VMOVQ DX, X7
+	VPBROADCASTQ X7, Y7
+	VPADDQ ·minScanIdxInit(SB), Y7, Y5 // [DX .. DX+3]
+	VMOVDQU (SI)(DX*8), Y7
+	VPCMPEQQ Y5, Y15, Y8
+	VPOR Y8, Y7, Y7
+	VPXOR Y0, Y7, Y7
+	VPCMPGTQ Y7, Y1, Y9
+	VBLENDVPD Y9, Y7, Y1, Y1
+	VBLENDVPD Y9, Y5, Y3, Y3
+	ADDQ $4, DX
+tail1:
+	CMPQ DX, CX
+	JE   merge
+	LEAQ -4(CX), DX // overlapping final window
+	VMOVQ DX, X7
+	VPBROADCASTQ X7, Y7
+	VPADDQ ·minScanIdxInit(SB), Y7, Y6
+	VMOVDQU (SI)(DX*8), Y10
+	VPCMPEQQ Y6, Y15, Y11
+	VPOR Y11, Y10, Y10
+	VPXOR Y0, Y10, Y10
+	VPCMPGTQ Y10, Y2, Y12
+	VBLENDVPD Y12, Y10, Y2, Y2
+	VBLENDVPD Y12, Y6, Y4, Y4
+merge:
+	// Merge chain B into chain A with the composite (key, index) order:
+	// take B where keyA > keyB, or keys equal and idxA > idxB.
+	VPCMPGTQ Y2, Y1, Y7
+	VPCMPEQQ Y2, Y1, Y8
+	VPCMPGTQ Y4, Y3, Y9
+	VPAND Y9, Y8, Y8
+	VPOR Y8, Y7, Y7
+	VBLENDVPD Y7, Y2, Y1, Y1
+	VBLENDVPD Y7, Y4, Y3, Y3
+	// Horizontal reduction of the four surviving (key, index) lanes in the
+	// scalar domain: a lexicographic (key, index) comparison is a signed
+	// 128-bit subtract (SUB low / SBB high), and two CMOVs off its flags
+	// replace a compare-and-blend chain whose serial latency dominates the
+	// vector version of this reduction.
+	VEXTRACTI128 $1, Y1, X2
+	VEXTRACTI128 $1, Y3, X4
+	VMOVQ X1, AX
+	VPEXTRQ $1, X1, BX
+	VMOVQ X2, R10
+	VPEXTRQ $1, X2, R11
+	VMOVQ X3, R8
+	VPEXTRQ $1, X3, R9
+	VMOVQ X4, R12
+	VPEXTRQ $1, X4, R13
+	// lane1 -> lane0
+	MOVQ R9, DI
+	SUBQ R8, DI
+	MOVQ BX, DX
+	SBBQ AX, DX
+	CMOVQLT BX, AX
+	CMOVQLT R9, R8
+	// lane3 -> lane2
+	MOVQ R13, DI
+	SUBQ R12, DI
+	MOVQ R11, DX
+	SBBQ R10, DX
+	CMOVQLT R11, R10
+	CMOVQLT R13, R12
+	// lane2 -> lane0
+	MOVQ R12, DI
+	SUBQ R8, DI
+	MOVQ R10, DX
+	SBBQ AX, DX
+	CMOVQLT R10, AX
+	CMOVQLT R12, R8
+	MOVQ $0x8000000000000000, BX
+	XORQ BX, AX // back to the unsigned key domain
+	MOVQ AX, mk+24(FP)
+	MOVQ R8, idx+32(FP)
+	VZEROUPPER
+	RET
+
+// func x86HasAVX2() bool
+// CPUID/XGETBV feature probe: OSXSAVE and AVX advertised, YMM state enabled
+// by the OS, and the AVX2 leaf bit set.
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28), R8
+	CMPL R8, $(1<<27 | 1<<28)
+	JNE  no
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package partition
+
+// useAVX2 is false on architectures without the AVX2 kernel; every scan
+// takes the portable minKeyScanGeneric path.
+const useAVX2 = false
+
+// minKeyScanAVX2 is never called when useAVX2 is false; this stub keeps the
+// portable build compiling.
+func minKeyScanAVX2(p *uint64, n, exclude int) (mk uint64, idx int) {
+	panic("partition: minKeyScanAVX2 without AVX2 support")
+}

@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceMinScan is the obvious specification: lowest index among the
+// minimum keys, sentinel-aware.
+func referenceMinScan(keys []uint64) (uint64, int) {
+	mk := emptyMinKey
+	idx := 0
+	for a, k := range keys {
+		if k < mk {
+			mk, idx = k, a
+		}
+	}
+	return mk, idx
+}
+
+func TestMinKeyScanGenericMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		keys := randomKeys(r)
+		wantMK, wantIdx := referenceMinScan(keys)
+		gotMK, gotIdx := minKeyScanGeneric(keys)
+		if gotMK != wantMK || (wantMK != emptyMinKey && gotIdx != wantIdx) {
+			t.Fatalf("trial %d len %d: generic = (%#x, %d), want (%#x, %d)",
+				trial, len(keys), gotMK, gotIdx, wantMK, wantIdx)
+		}
+	}
+}
+
+func TestMinKeyScanAVX2MatchesReference(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this machine")
+	}
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5000; trial++ {
+		keys := randomKeys(r)
+		if len(keys) < 8 {
+			continue
+		}
+		// Exercise every exclusion shape: none, in range, out of range.
+		exclude := r.Intn(len(keys)+4) - 2
+		masked := append([]uint64(nil), keys...)
+		if exclude >= 0 && exclude < len(masked) {
+			masked[exclude] = emptyMinKey
+		}
+		wantMK, wantIdx := referenceMinScan(masked)
+		gotMK, gotIdx := minKeyScanAVX2(&keys[0], len(keys), exclude)
+		if gotMK != wantMK || (wantMK != emptyMinKey && gotIdx != wantIdx) {
+			t.Fatalf("trial %d len %d exclude %d: avx2 = (%#x, %d), want (%#x, %d)",
+				trial, len(keys), exclude, gotMK, gotIdx, wantMK, wantIdx)
+		}
+	}
+}
+
+// randomKeys builds adversarial key arrays: ragged lengths around the
+// 4-lane vector width, heavy duplication so ties exercise the lowest-index
+// rule, realistic minKeyOf images of weights, sentinels, and raw patterns
+// covering both halves of the sign-flip mapping.
+func randomKeys(r *rand.Rand) []uint64 {
+	n := 1 + r.Intn(133)
+	keys := make([]uint64, n)
+	for i := range keys {
+		switch r.Intn(6) {
+		case 0:
+			keys[i] = emptyMinKey
+		case 1:
+			keys[i] = minKeyOf(float64(r.Intn(8))) // dense duplicates
+		case 2:
+			keys[i] = minKeyOf(r.NormFloat64() * 1e3) // signed weights
+		case 3:
+			keys[i] = r.Uint64()
+		case 4:
+			keys[i] = minKeyOf(0)
+		default:
+			keys[i] = minKeyOf(math.Inf(1))
+		}
+	}
+	return keys
+}
+
+func TestMinKeyScanAllEmpty(t *testing.T) {
+	keys := make([]uint64, 9)
+	for i := range keys {
+		keys[i] = emptyMinKey
+	}
+	if mk, _ := minKeyScanGeneric(keys); mk != emptyMinKey {
+		t.Fatalf("generic on all-empty = %#x, want sentinel", mk)
+	}
+	if useAVX2 {
+		if mk, _ := minKeyScanAVX2(&keys[0], len(keys), -1); mk != emptyMinKey {
+			t.Fatalf("avx2 on all-empty = %#x, want sentinel", mk)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package partition
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -38,6 +39,28 @@ type P struct {
 	assigned int
 	nonEmpty int
 	crossing float64 // total crossing edge weight, each edge counted once
+
+	// part16 mirrors part with int16 entries whenever the capacity fits
+	// (part ids < 32768 — always, in practice). The mirror is half the
+	// footprint of part, so the random per-neighbor assignment loads of the
+	// score.moveConns hot loop stay L1-resident on graphs twice as large;
+	// maintenance is a single extra store per mutation.
+	part16 []int16
+
+	// Argmin support for MinInternalPart, armed by its first call
+	// (minTrack): callers that never ask for the argmin — refinement
+	// sweeps, bulk construction — pay one predicted branch per mutation
+	// and nothing else. minKey mirrors each non-empty part's internal
+	// weight through the monotone float-to-uint64 map of minKeyOf (empty
+	// slots hold the all-ones sentinel), so each mutation costs one
+	// unconditional store and the argmin query is a short compare-and-cmov
+	// integer reduction over one contiguous array instead of the
+	// NonEmptyParts allocate-and-scan (with a method call per part) the
+	// old hot path paid per proposal. Only a bulk CopyFrom sets minDirty
+	// for a lazy refill.
+	minTrack bool
+	minDirty bool
+	minKey   []uint64
 }
 
 // New returns a partition of g with the given part capacity and every vertex
@@ -53,6 +76,12 @@ func New(g *graph.Graph, capacity int) *P {
 		vw:       make([]float64, capacity),
 		internal: make([]float64, capacity),
 		cut:      make([]float64, capacity),
+	}
+	if capacity <= math.MaxInt16 {
+		p.part16 = make([]int16, g.NumVertices())
+		for i := range p.part16 {
+			p.part16[i] = Unassigned
+		}
 	}
 	for i := range p.part {
 		p.part[i] = Unassigned
@@ -92,7 +121,18 @@ func (p *P) NumAssigned() int { return p.assigned }
 func (p *P) Complete() bool { return p.assigned == p.g.NumVertices() }
 
 // Part returns the part of v, or Unassigned.
-func (p *P) Part(v int) int { return int(p.part[v]) }
+func (p *P) Part(v int) int { return int(p.partAt(v)) }
+
+// partAt reads v's part through the int16 mirror when one exists: the mirror
+// is half the footprint of the canonical int32 array, so the random
+// per-proposal lookups stay L1-resident on graphs twice as large. The mirror
+// is updated alongside every part write, so the two views never disagree.
+func (p *P) partAt(v int) int32 {
+	if p.part16 != nil {
+		return int32(p.part16[v])
+	}
+	return p.part[v]
+}
 
 // PartSize returns the number of vertices in part a.
 func (p *P) PartSize(a int) int { return int(p.size[a]) }
@@ -117,6 +157,9 @@ func (p *P) Assign(v, a int) {
 		panic(fmt.Sprintf("partition: vertex %d already assigned", v))
 	}
 	p.part[v] = int32(a)
+	if p.part16 != nil {
+		p.part16[v] = int16(a)
+	}
 	if p.size[a] == 0 {
 		p.nonEmpty++
 	}
@@ -140,12 +183,13 @@ func (p *P) Assign(v, a int) {
 			p.crossing += w
 		}
 	}
+	p.minTouch(a)
 }
 
 // Move transfers an assigned vertex v to part `to`, updating all statistics
 // in O(deg(v)).
 func (p *P) Move(v, to int) {
-	from := int(p.part[v])
+	from := int(p.partAt(v))
 	if from == Unassigned {
 		panic(fmt.Sprintf("partition: moving unassigned vertex %d", v))
 	}
@@ -178,6 +222,9 @@ func (p *P) Move(v, to int) {
 		}
 	}
 	p.part[v] = int32(to)
+	if p.part16 != nil {
+		p.part16[v] = int16(to)
+	}
 	p.size[from]--
 	if p.size[from] == 0 {
 		p.nonEmpty--
@@ -186,13 +233,67 @@ func (p *P) Move(v, to int) {
 		p.nonEmpty++
 	}
 	p.size[to]++
-	vw := p.g.VertexWeight(v)
+	vw := 1.0
+	if !p.g.UnitVertexWeights() {
+		vw = p.g.VertexWeight(v)
+	}
 	p.vw[from] -= vw
 	p.vw[to] += vw
 	if l := p.g.VertexLoop(v); l != 0 {
 		p.internal[from] -= l
 		p.internal[to] += l
 	}
+	p.minTouch(from)
+	p.minTouch(to)
+}
+
+// MoveConns is Move for callers that already scanned v's neighborhood:
+// connFrom and connTo are v's total edge weight into its current part and
+// into `to`, other its weight into every other assigned neighbor's part
+// (exactly score.moveConns' split). The statistics update is O(1) aggregated
+// arithmetic instead of a per-edge loop — the same numbers grouped
+// differently, exact whenever edge weights sum without rounding (integral
+// weights, as in every golden instance) and within accumulator drift
+// otherwise. score.Tracker.Apply uses it to commit a move whose connection
+// weights MoveDelta already computed, eliminating one of the two adjacency
+// scans an accepted proposal used to pay.
+func (p *P) MoveConns(v, to int, connFrom, connTo, other float64) {
+	from := int(p.partAt(v))
+	if from == Unassigned {
+		panic(fmt.Sprintf("partition: moving unassigned vertex %d", v))
+	}
+	if from == to {
+		return
+	}
+	p.internal[from] -= connFrom
+	p.internal[to] += connTo
+	p.cut[from] += connFrom - connTo - other
+	p.cut[to] += connFrom - connTo + other
+	p.crossing += connFrom - connTo
+	p.part[v] = int32(to)
+	if p.part16 != nil {
+		p.part16[v] = int16(to)
+	}
+	p.size[from]--
+	if p.size[from] == 0 {
+		p.nonEmpty--
+	}
+	if p.size[to] == 0 {
+		p.nonEmpty++
+	}
+	p.size[to]++
+	vw := 1.0
+	if !p.g.UnitVertexWeights() {
+		vw = p.g.VertexWeight(v)
+	}
+	p.vw[from] -= vw
+	p.vw[to] += vw
+	if l := p.g.VertexLoop(v); l != 0 {
+		p.internal[from] -= l
+		p.internal[to] += l
+	}
+	p.minTouch(from)
+	p.minTouch(to)
 }
 
 // MergeParts moves every vertex of part b into part a. No-op when a == b.
@@ -226,6 +327,143 @@ func (p *P) NonEmptyParts() []int {
 		}
 	}
 	return out
+}
+
+// MinInternalPart returns the non-empty part with the smallest internal
+// weight, excluding `exclude` (pass -1 to exclude nothing); ties resolve to
+// the lowest part id, and -1 is returned when no eligible part exists. The
+// ordering is identical to scanning NonEmptyParts in ascending order and
+// keeping the first strictly-smaller PartInternalOrdered — the annealer's
+// high-temperature "feed the starving part" target — but is O(1) amortized:
+// the first call arms an incrementally maintained key array that turns the
+// query into a short branchless reduction, so per-proposal callers pay
+// neither the allocation nor the O(capacity) method-call scan the pre-cache
+// code paid.
+func (p *P) MinInternalPart(exclude int) int {
+	if !p.minTrack || p.minDirty {
+		p.refillMinKeys()
+	}
+	keys := p.minKey
+	if useAVX2 && len(keys) >= 8 {
+		// The kernel neutralizes the excluded slot in-register: storing a
+		// sentinel into the array just before the vector loads would stall
+		// every call on failed store-to-load forwarding.
+		mk, idx := minKeyScanAVX2(&keys[0], len(keys), exclude)
+		if mk == emptyMinKey {
+			return -1
+		}
+		return idx
+	}
+	masked := exclude >= 0 && exclude < len(keys)
+	var saved uint64
+	if masked { // mask the excluded slot for the duration of the scan
+		saved = keys[exclude]
+		keys[exclude] = emptyMinKey
+	}
+	mk, idx := minKeyScanGeneric(keys)
+	best := -1
+	if mk != emptyMinKey {
+		best = idx
+	}
+	if masked {
+		keys[exclude] = saved
+	}
+	return best
+}
+
+// minKeyScanGeneric is the portable argmin key scan: the minimum key and
+// the lowest index holding it (idx is meaningless when every slot is
+// emptyMinKey — callers check mk first).
+//
+// Pass 1 finds the minimum as a four-wide compare-and-cmov integer
+// reduction — the keys are bit-mapped so unsigned order is weight order,
+// and integer mins compile branchless where the float min builtin pays NaN
+// and signed-zero fixups per element. Pass 2 finds the first slot holding
+// it — the exact lowest-id tie-break of an ascending NonEmptyParts scan.
+// For at most 64 slots pass 2 is a branchless equality bitmask plus a
+// trailing-zero count; a first-match break loop mispredicts its exit every
+// call, and that one mispredict costs more than the whole mask loop.
+func minKeyScanGeneric(keys []uint64) (mk uint64, idx int) {
+	m0, m1, m2, m3 := emptyMinKey, emptyMinKey, emptyMinKey, emptyMinKey
+	i := 0
+	for ; i+4 <= len(keys); i += 4 {
+		m0 = min(m0, keys[i])
+		m1 = min(m1, keys[i+1])
+		m2 = min(m2, keys[i+2])
+		m3 = min(m3, keys[i+3])
+	}
+	for ; i < len(keys); i++ {
+		m0 = min(m0, keys[i])
+	}
+	mk = min(min(m0, m1), min(m2, m3))
+	if mk == emptyMinKey {
+		return mk, 0
+	}
+	if len(keys) <= 64 {
+		var eq uint64
+		for a, k := range keys {
+			var bit uint64
+			if k == mk {
+				bit = 1
+			}
+			eq |= bit << uint(a)
+		}
+		return mk, bits.TrailingZeros64(eq)
+	}
+	for a, k := range keys {
+		if k == mk {
+			return mk, a
+		}
+	}
+	return mk, 0
+}
+
+// emptyMinKey is the argmin key of an empty part slot: above minKeyOf of
+// every float64, so empty slots can never win the reduction.
+const emptyMinKey = ^uint64(0)
+
+// minKeyOf maps a float64 onto a uint64 whose unsigned order is the float
+// total order (the usual sign-flip trick). Equal weights map to equal keys,
+// so pass 2's first-equal scan keeps the lowest-id tie-break; the one
+// refinement over the old < scan is that a -0.0 weight orders before +0.0
+// instead of tying, which no realizable internal weight hits.
+func minKeyOf(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// minTouch refreshes part a's argmin key after its internal weight or
+// emptiness changed: one unconditional store.
+func (p *P) minTouch(a int) {
+	if !p.minTrack || p.minDirty {
+		return
+	}
+	if p.size[a] == 0 {
+		p.minKey[a] = emptyMinKey
+	} else {
+		p.minKey[a] = minKeyOf(p.internal[a])
+	}
+}
+
+// refillMinKeys re-derives every argmin key from the live statistics. It
+// runs once when MinInternalPart first arms the cache and after a bulk
+// CopyFrom, never in the per-move path.
+func (p *P) refillMinKeys() {
+	p.minTrack = true
+	p.minDirty = false
+	if p.minKey == nil {
+		p.minKey = make([]uint64, len(p.size))
+	}
+	for a := range p.minKey {
+		if p.size[a] == 0 {
+			p.minKey[a] = emptyMinKey
+		} else {
+			p.minKey[a] = minKeyOf(p.internal[a])
+		}
+	}
 }
 
 // VerticesOf returns the vertices currently in part a.
@@ -277,6 +515,18 @@ func (p *P) Assignment() []int32 {
 	return append([]int32(nil), p.part...)
 }
 
+// PartView returns the live per-vertex part-id slice, NOT a copy. Callers
+// must treat it as read-only and must not hold it across mutations; it
+// exists so per-move hot loops (score.moveConns) can index assignments
+// directly instead of paying a method call per neighbor.
+func (p *P) PartView() []int32 { return p.part }
+
+// PartView16 returns the live int16 mirror of the per-vertex part ids, or
+// nil when the part capacity exceeds the int16 range. Same read-only,
+// don't-hold-across-mutations contract as PartView; the narrower entries
+// keep the moveConns random-access loads in L1 on graphs twice as large.
+func (p *P) PartView16() []int16 { return p.part16 }
+
 // Clone returns an independent deep copy.
 func (p *P) Clone() *P {
 	q := &P{
@@ -290,6 +540,9 @@ func (p *P) Clone() *P {
 		nonEmpty: p.nonEmpty,
 		crossing: p.crossing,
 	}
+	if p.part16 != nil {
+		q.part16 = append([]int16(nil), p.part16...)
+	}
 	return q
 }
 
@@ -300,6 +553,15 @@ func (p *P) CopyFrom(q *P) {
 		panic("partition: CopyFrom with incompatible partition")
 	}
 	copy(p.part, q.part)
+	if p.part16 != nil {
+		if q.part16 != nil {
+			copy(p.part16, q.part16)
+		} else {
+			for i, a := range q.part {
+				p.part16[i] = int16(a)
+			}
+		}
+	}
 	copy(p.size, q.size)
 	copy(p.vw, q.vw)
 	copy(p.internal, q.internal)
@@ -307,6 +569,7 @@ func (p *P) CopyFrom(q *P) {
 	p.assigned = q.assigned
 	p.nonEmpty = q.nonEmpty
 	p.crossing = q.crossing
+	p.minDirty = true // bulk overwrite: revalidate the argmin on next query
 }
 
 // Compact renumbers non-empty parts to 0..NumParts-1 and returns the final

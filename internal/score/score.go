@@ -39,6 +39,7 @@ package score
 
 import (
 	"math"
+	"unsafe"
 
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -71,6 +72,21 @@ type Tracker struct {
 	comp   float64
 	infs   int // number of parts whose term is +Inf (eps = 0 Mcut)
 	ops    int // committed operations since the last resummation
+
+	// Connection cache: the (v, from, to) → (connA, connB, other) split the
+	// last MoveValue/MoveValueConn computed, valid until the partition next
+	// mutates. When Apply commits exactly that move it hands the cached
+	// split to partition.MoveConns instead of letting Move rescan v's
+	// adjacency — the propose-then-accept pattern of every Metropolis loop
+	// pays one adjacency scan per accepted proposal instead of two.
+	connV, connFrom, connTo int
+	connA, connB, connOther float64
+	// connTermA/connTermB are the post-move terms of `from` and `to` that
+	// moveValueFromConns computed for the cached move; a cache-hit Apply
+	// installs them directly instead of re-deriving obj.Term from the
+	// updated statistics.
+	connTermA, connTermB float64
+	connValid            bool
 }
 
 // NewTracker binds a tracker to p and performs the initial O(capacity)
@@ -90,6 +106,11 @@ func NewTracker(p *partition.P, obj objective.Objective, eps float64) *Tracker {
 
 // Partition returns the tracked partition.
 func (t *Tracker) Partition() *partition.P { return t.p }
+
+// PartTerm returns part a's cached objective term — the summand Value
+// maintains (0 for empty parts). Exposed for diagnostics and for frozen
+// benchmark baselines that replicate historical delta arithmetic.
+func (t *Tracker) PartTerm(a int) float64 { return t.term[a] }
 
 // Value returns the current smoothed objective in O(1). It equals
 // objective.EvaluateSmoothed(p, eps) up to the bounded accumulator drift,
@@ -150,6 +171,7 @@ func (t *Tracker) MoveValue(v, from, to int) float64 {
 		return t.Value()
 	}
 	connA, connB, other := moveConns(t.p, v, from, to)
+	t.cacheConns(v, from, to, connA, connB, other)
 	return t.moveValueFromConns(v, from, to, connA, connB, other)
 }
 
@@ -163,7 +185,22 @@ func (t *Tracker) MoveValueConn(v, from, to int, connFrom, connTo, other float64
 	if from == to {
 		return t.Value()
 	}
+	t.cacheConns(v, from, to, connFrom, connTo, other)
 	return t.moveValueFromConns(v, from, to, connFrom, connTo, other)
+}
+
+// InvalidateConnCache drops the cached adjacency split, forcing the next
+// Apply to rescan v's neighborhood. Call it after mutating the partition
+// directly (alongside Rebuild) — a cached split predating the mutation would
+// otherwise be trusted by an Apply of the same (v, from, to) triple.
+func (t *Tracker) InvalidateConnCache() { t.connValid = false }
+
+// cacheConns remembers the adjacency split of the move just evaluated so a
+// matching Apply can commit it without rescanning.
+func (t *Tracker) cacheConns(v, from, to int, connA, connB, other float64) {
+	t.connV, t.connFrom, t.connTo = v, from, to
+	t.connA, t.connB, t.connOther = connA, connB, other
+	t.connValid = true
 }
 
 func (t *Tracker) moveValueFromConns(v, from, to int, connA, connB, other float64) float64 {
@@ -175,6 +212,13 @@ func (t *Tracker) moveValueFromConns(v, from, to int, connA, connB, other float6
 	// returns 0 — asserting that here keeps eps = 0 Mcut out of 0/0).
 	if t.p.PartSize(from) == 1 {
 		afterA = 0
+	}
+	t.connTermA, t.connTermB = afterA, afterB // completes the cacheConns entry
+	if t.infs == 0 && !math.IsInf(afterA, 1) && !math.IsInf(afterB, 1) {
+		// No infinite terms anywhere: the swap below degenerates to four
+		// adds in the exact same left-to-right order, minus the loop and
+		// IsInf bookkeeping. Bit-identical to the general path.
+		return t.finite + t.comp - t.term[from] - t.term[to] + afterA + afterB
 	}
 	finite, infs := t.finite+t.comp, t.infs
 	for _, old := range [2]float64{t.term[from], t.term[to]} {
@@ -205,6 +249,15 @@ func (t *Tracker) Apply(v, to int) {
 	if from == to {
 		return
 	}
+	if t.connValid && t.connV == v && t.connFrom == from && t.connTo == to {
+		t.p.MoveConns(v, to, t.connA, t.connB, t.connOther)
+		t.connValid = false
+		t.applyTerm(from, t.connTermA)
+		t.applyTerm(to, t.connTermB)
+		t.bump()
+		return
+	}
+	t.connValid = false
 	t.p.Move(v, to)
 	t.refresh(from)
 	t.refresh(to)
@@ -216,6 +269,7 @@ func (t *Tracker) Apply(v, to int) {
 // neighboring part, whose cut grows by the newly-counted crossing edges.
 // O(deg v).
 func (t *Tracker) Assign(v, a int) {
+	t.connValid = false // assignment invalidates any cached adjacency split
 	t.p.Assign(v, a)
 	t.refresh(a)
 	g := t.p.Graph()
@@ -234,11 +288,18 @@ func (t *Tracker) Assign(v, a int) {
 // part twice in one operation is harmless (the second refresh is a no-op),
 // which is why Assign needs no neighbor-part dedup.
 func (t *Tracker) refresh(a int) {
-	old := t.term[a]
 	var nw float64
 	if t.p.PartSize(a) > 0 {
 		nw = t.obj.Term(t.p.PartCut(a), t.p.PartInternalOrdered(a), t.eps)
 	}
+	t.applyTerm(a, nw)
+}
+
+// applyTerm installs part a's new objective term nw — either freshly
+// recomputed (refresh) or carried over from the hypothetical-move arithmetic
+// of a cache-hit Apply — and folds the difference into the running total.
+func (t *Tracker) applyTerm(a int, nw float64) {
+	old := t.term[a]
 	if old == nw {
 		return
 	}
@@ -304,10 +365,149 @@ func Delta(p *partition.P, obj objective.Objective, eps float64, v, from, to int
 // moveConns scans v's adjacency once and splits its incident edge weight
 // into the connection to `from`, to `to`, and to every other assigned
 // neighbor. Edges to unassigned vertices are excluded — they touch no cut.
+// When the partition is complete, `other` is derived from the precomputed
+// weighted degree instead of accumulated per neighbor: with k parts most
+// neighbors land in neither `from` nor `to`, and skipping their adds keeps
+// the scan to two accumulators.
 func moveConns(p *partition.P, v, from, to int) (connA, connB, other float64) {
 	g := p.Graph()
 	nbrs := g.Neighbors(v)
 	wts := g.Weights(v)
+	if p.Complete() {
+		if len(wts) < len(nbrs) {
+			panic("score: adjacency weight slice shorter than neighbor slice")
+		}
+		// Prefer the int16 assignment mirror: half the footprint of the
+		// int32 view, so the random per-neighbor loads stay L1-resident on
+		// graphs twice as large. The accumulation is branchless — each
+		// weight is masked to itself or +0.0 and always added, because a
+		// neighbor's part is data-dependent noise no branch predictor
+		// tracks — and runs two independent accumulator pairs so the adds
+		// overlap instead of serializing on one float dependency chain.
+		// Masked +0.0 adds are exact identities and integer-weight partial
+		// sums are exact in either grouping, so the golden trajectories are
+		// unchanged.
+		if part := p.PartView16(); part != nil {
+			f16, t16 := int16(from), int16(to)
+			if g.UnitEdgeWeights() {
+				// Unit weights make the weighted degree the neighbor count
+				// exactly, saving the random wdeg load as well.
+				wd := float64(len(nbrs))
+				// Unit-weight graphs: count matching neighbors instead of
+				// summing weights — the weight array is never loaded, so the
+				// loop touches half the memory, and the counters are 1-cycle
+				// integer adds with no float dependency chain. Sums of 1.0
+				// below 2^53 equal float64(count) exactly, so this is
+				// bit-identical to the weighted accumulation.
+				var cA0, cB0, cA1, cB1, cA2, cB2, cA3, cB3 int32
+				// Every adjacency entry is a valid vertex id below
+				// len(part) by graph construction, so the data-dependent
+				// part lookups go through a raw pointer: the compiler
+				// cannot prove the random indexes in range, and the
+				// per-load bound checks it would otherwise emit are a
+				// measurable fraction of this loop.
+				pp := unsafe.Pointer(&part[0])
+				at := func(u int32) int16 {
+					return *(*int16)(unsafe.Add(pp, uintptr(uint32(u))*2))
+				}
+				i := 0
+				for ; i+4 <= len(nbrs); i += 4 {
+					b0, b1 := at(nbrs[i]), at(nbrs[i+1])
+					b2, b3 := at(nbrs[i+2]), at(nbrs[i+3])
+					if b0 == f16 {
+						cA0++
+					}
+					if b0 == t16 {
+						cB0++
+					}
+					if b1 == f16 {
+						cA1++
+					}
+					if b1 == t16 {
+						cB1++
+					}
+					if b2 == f16 {
+						cA2++
+					}
+					if b2 == t16 {
+						cB2++
+					}
+					if b3 == f16 {
+						cA3++
+					}
+					if b3 == t16 {
+						cB3++
+					}
+				}
+				for ; i < len(nbrs); i++ {
+					b := at(nbrs[i])
+					if b == f16 {
+						cA0++
+					}
+					if b == t16 {
+						cB0++
+					}
+				}
+				connA = float64((cA0 + cA1) + (cA2 + cA3))
+				connB = float64((cB0 + cB1) + (cB2 + cB3))
+				return connA, connB, wd - connA - connB
+			}
+			wd := g.WeightedDegree(v)
+			wts = wts[:len(nbrs)]
+			var cA0, cB0, cA1, cB1 float64
+			i := 0
+			for ; i+2 <= len(nbrs); i += 2 {
+				b0, b1 := part[nbrs[i]], part[nbrs[i+1]]
+				w0 := math.Float64bits(wts[i])
+				w1 := math.Float64bits(wts[i+1])
+				var mA0, mB0, mA1, mB1 uint64
+				if b0 == f16 {
+					mA0 = ^uint64(0)
+				}
+				if b0 == t16 {
+					mB0 = ^uint64(0)
+				}
+				if b1 == f16 {
+					mA1 = ^uint64(0)
+				}
+				if b1 == t16 {
+					mB1 = ^uint64(0)
+				}
+				cA0 += math.Float64frombits(w0 & mA0)
+				cB0 += math.Float64frombits(w0 & mB0)
+				cA1 += math.Float64frombits(w1 & mA1)
+				cB1 += math.Float64frombits(w1 & mB1)
+			}
+			if i < len(nbrs) {
+				b := part[nbrs[i]]
+				wb := math.Float64bits(wts[i])
+				var mA, mB uint64
+				if b == f16 {
+					mA = ^uint64(0)
+				}
+				if b == t16 {
+					mB = ^uint64(0)
+				}
+				cA0 += math.Float64frombits(wb & mA)
+				cB0 += math.Float64frombits(wb & mB)
+			}
+			connA = cA0 + cA1
+			connB = cB0 + cB1
+			return connA, connB, wd - connA - connB
+		}
+		{
+			part := p.PartView()
+			f32, t32 := int32(from), int32(to)
+			for i, u := range nbrs {
+				if b := part[u]; b == f32 {
+					connA += wts[i]
+				} else if b == t32 {
+					connB += wts[i]
+				}
+			}
+		}
+		return connA, connB, g.WeightedDegree(v) - connA - connB
+	}
 	for i, u := range nbrs {
 		switch p.Part(int(u)) {
 		case partition.Unassigned:
