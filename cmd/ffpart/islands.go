@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	ff "repro"
+	"repro/internal/server"
+)
+
+// islandOutcome is one ffserve instance's answer to the fanned-out job.
+type islandOutcome struct {
+	url    string
+	result *ff.Result
+	err    error
+}
+
+// islandResponse is the slice of the server's partition response the client
+// needs (the full type is unexported in the server package).
+type islandResponse struct {
+	Status string     `json:"status"`
+	Result *ff.Result `json:"result"`
+	Error  string     `json:"error"`
+}
+
+// runIslands fans the job out to every ffserve URL as a federated request
+// and reduces the replies with the same deterministic comparison the
+// islands themselves use, so the client-side winner agrees with the
+// fleet-side one. Returns the winning result for printing/writing.
+func runIslands(urls []string, g *ff.Graph, opt ff.Options, timeout time.Duration) (*ff.Result, []islandOutcome, error) {
+	var metis strings.Builder
+	if err := ff.WriteMETIS(&metis, g); err != nil {
+		return nil, nil, fmt.Errorf("serializing graph: %w", err)
+	}
+	req := server.PartitionRequest{
+		Graph:     server.GraphSpec{METIS: metis.String()},
+		K:         opt.K,
+		Method:    opt.Method,
+		Objective: opt.Objective,
+		Seed:      opt.Seed,
+		MaxSteps:  opt.MaxSteps,
+		Federate:  true,
+	}
+	if opt.Budget > 0 {
+		req.Budget = opt.Budget.String()
+	}
+	if opt.Parallelism > 0 {
+		req.Parallelism = opt.Parallelism
+	}
+	if opt.Multilevel {
+		req.Multilevel = true
+		req.CoarsenTo = opt.CoarsenTo
+	}
+	if timeout > 0 {
+		req.Timeout = timeout.String()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// All islands get the identical request concurrently; the federation
+	// protocol needs every member running, so a sequential fan-out would
+	// stall the first island's exchange rounds until the last submission.
+	outcomes := make([]islandOutcome, len(urls))
+	var wg sync.WaitGroup
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			res, err := askIsland(url, body, timeout)
+			outcomes[i] = islandOutcome{url: url, result: res, err: err}
+		}(i, url)
+	}
+	wg.Wait()
+
+	// Reduce with the fleet's own comparison: objective value first, then
+	// island id. With healthy gossip every island already reports the same
+	// winner; the reduction also covers a degraded fleet where some island
+	// missed rounds and finished worse.
+	var cands []ff.ExchangeCandidate
+	for i, o := range outcomes {
+		if o.err != nil || o.result == nil {
+			continue
+		}
+		island := i
+		if o.result.Island != nil {
+			island = *o.result.Island
+		}
+		cands = append(cands, ff.ExchangeCandidate{
+			Assign: o.result.Parts,
+			Energy: objectiveValue(o.result, opt.Objective),
+			Island: island,
+			Has:    true,
+		})
+	}
+	win, ok := ff.ReduceWinner(cands)
+	if !ok {
+		for _, o := range outcomes {
+			if o.err != nil {
+				return nil, outcomes, fmt.Errorf("no island returned a partition; first failure: %s: %w", o.url, o.err)
+			}
+		}
+		return nil, outcomes, fmt.Errorf("no island returned a partition")
+	}
+	for _, o := range outcomes {
+		if o.result != nil && o.result.Island != nil && *o.result.Island == win.Island {
+			return o.result, outcomes, nil
+		}
+	}
+	// Fallback when islands did not echo ids: match by slice index.
+	return outcomes[win.Island].result, outcomes, nil
+}
+
+// askIsland POSTs the federated request to one ffserve and decodes the
+// synchronous reply.
+func askIsland(url string, body []byte, timeout time.Duration) (*ff.Result, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout+10*time.Second)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(url, "/")+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out islandResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bad response (%s): %w", resp.Status, err)
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s: %s", resp.Status, out.Error)
+	}
+	if out.Result == nil {
+		return nil, fmt.Errorf("%s: no result (status %q)", resp.Status, out.Status)
+	}
+	return out.Result, nil
+}
+
+// objectiveValue picks the requested objective out of a result.
+func objectiveValue(r *ff.Result, objective string) float64 {
+	switch objective {
+	case "cut":
+		return r.Cut
+	case "ncut":
+		return r.Ncut
+	default:
+		return r.Mcut
+	}
+}
+
+// printIslandSummary lists each island's answer under the winner's summary.
+func printIslandSummary(outcomes []islandOutcome, objective string) {
+	ordered := append([]islandOutcome(nil), outcomes...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].url < ordered[j].url })
+	for _, o := range ordered {
+		switch {
+		case o.err != nil:
+			fmt.Printf("island %-28s error: %v\n", o.url+":", o.err)
+		case o.result != nil:
+			id := "?"
+			if o.result.Island != nil {
+				id = fmt.Sprintf("%d", *o.result.Island)
+			}
+			fmt.Printf("island %-28s id %s  %s %.4f  %d worker(s)  %d exchange round(s)\n",
+				o.url+":", id, objective, objectiveValue(o.result, objective),
+				o.result.Workers, o.result.ExchangeRounds)
+		}
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 		coarsenTo = flag.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default; needs -multilevel)")
 		out       = flag.String("out", "", "write the partition here (one part id per line)")
 		list      = flag.Bool("list", false, "list available methods and exit")
+		islands   = flag.String("islands", "", "comma-separated ffserve URLs: fan the job out as a federated island run instead of solving locally")
+		timeout   = flag.Duration("timeout", 0, "per-island job timeout for -islands (0 = server default)")
 	)
 	flag.Parse()
 
@@ -60,12 +62,26 @@ func main() {
 	if parallelism == 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	res, err := ff.Partition(g, ff.Options{
+	opt := ff.Options{
 		K: *k, Method: *method, Objective: *obj,
 		Seed: *seed, Budget: *budget, MaxSteps: *steps,
 		Parallelism: parallelism,
 		Multilevel:  *multi, CoarsenTo: *coarsenTo,
-	})
+	}
+
+	var res *ff.Result
+	var outcomes []islandOutcome
+	if *islands != "" {
+		var urls []string
+		for _, u := range strings.Split(*islands, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		res, outcomes, err = runIslands(urls, g, opt, *timeout)
+	} else {
+		res, err = ff.Partition(g, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +98,12 @@ func main() {
 	if h := res.Hierarchy; h != nil {
 		fmt.Printf("hierarchy:  %d levels, coarsest %d vertices / %d edges %v\n",
 			h.Levels, h.CoarsestVertices, h.CoarsestEdges, h.VertexCounts)
+	}
+	if outcomes != nil {
+		if res.Island != nil {
+			fmt.Printf("winner:     island %d\n", *res.Island)
+		}
+		printIslandSummary(outcomes, *obj)
 	}
 
 	if *out != "" {

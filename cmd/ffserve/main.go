@@ -12,6 +12,12 @@
 //	GET    /v1/methods     list methods and objectives
 //	GET    /healthz        liveness and statistics
 //
+// With -island-id and -peers the instance joins a federated fleet: requests
+// carrying "federate": true exchange incumbents with the peer instances over
+// POST /v1/islands/exchange, and every island converges on the same winner.
+//
+//	ffserve -addr :8080 -island-id 0 -peers http://10.0.0.2:8080
+//
 // Example request:
 //
 //	curl -s localhost:8080/v1/partition -d '{
@@ -29,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,8 +52,24 @@ func main() {
 		maxPar    = flag.Int("max-parallelism", 0, "clamp on per-request portfolio width (0 = GOMAXPROCS, negative = force serial)")
 		grace     = flag.Duration("grace", 10*time.Second, "slack added to a request's budget to form its job deadline")
 		jobTTL    = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable")
+		islandID  = flag.Int("island-id", 0, "this instance's id in a federated fleet (unique per island)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of the other islands (enables federation)")
+		exchWait  = flag.Duration("exchange-wait", 30*time.Second, "long-poll cap for a peer's candidate per exchange round")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	if *islandID < 0 {
+		fatal(fmt.Errorf("-island-id must be >= 0, got %d", *islandID))
+	}
+	if *islandID > 0 && len(peerList) == 0 {
+		fatal(errors.New("-island-id set but no -peers; a fleet needs both"))
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -56,6 +79,9 @@ func main() {
 		MaxParallelism: *maxPar,
 		Grace:          *grace,
 		JobTTL:         *jobTTL,
+		IslandID:       *islandID,
+		Peers:          peerList,
+		ExchangeWait:   *exchWait,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -65,7 +91,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ffserve listening on %s", *addr)
+		if len(peerList) > 0 {
+			log.Printf("ffserve island %d listening on %s, peers %v", *islandID, *addr, peerList)
+		} else {
+			log.Printf("ffserve listening on %s", *addr)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -220,6 +220,34 @@ type Options struct {
 	// K; the cutoff is clamped to at least 2K. Meaningful only with
 	// Multilevel (cleared otherwise during normalization).
 	CoarsenTo int `json:"coarsen_to,omitempty"`
+	// Island is this process's island index in a federated fleet (0-based).
+	// It offsets worker-seed derivation by Island*Parallelism — so islands
+	// sharing a base seed search disjoint random streams — and breaks
+	// cross-island winner ties deterministically. Leave 0 for
+	// single-process runs.
+	Island int `json:"island,omitempty"`
+	// Exchange, when non-nil, federates the metaheuristic's incumbent
+	// exchange across islands: each exchange round's local winner is traded
+	// with the peer islands and every worker receives the fleet-wide
+	// winner. The server's HTTP island transport provides the
+	// implementation; the field never travels through JSON.
+	Exchange Relay `json:"-"`
+}
+
+// Relay is the cross-island exchange hook a federated transport plugs into
+// Options.Exchange; internal/server implements it over HTTP long-polls.
+type Relay = engine.Relay
+
+// ExchangeCandidate is one island's deposited incumbent, as fleet clients
+// see it when reducing fanned-out results deterministically.
+type ExchangeCandidate = engine.Candidate
+
+// ReduceWinner reduces candidates to the deterministic fleet winner: lowest
+// energy, ties to the lowest island, then the lowest worker index — the
+// same comparison every exchange round uses, so a client reducing the final
+// results of a fanned-out job agrees with the islands themselves.
+func ReduceWinner(cands []ExchangeCandidate) (ExchangeCandidate, bool) {
+	return engine.ReduceWinner(cands)
 }
 
 // normalized fills defaults and resolves the method and objective, returning
@@ -256,6 +284,9 @@ func (o Options) normalized() (Options, string, objective.Objective, error) {
 	}
 	if o.CoarsenTo < 0 {
 		return o, "", 0, fmt.Errorf("fusionfission: CoarsenTo=%d must be >= 0", o.CoarsenTo)
+	}
+	if o.Island < 0 {
+		return o, "", 0, fmt.Errorf("fusionfission: Island=%d must be >= 0", o.Island)
 	}
 	if spec, err := experiments.MethodByName(rowName); err == nil {
 		// Classical methods ignore the portfolio entirely; pinning their
@@ -317,6 +348,14 @@ type Result struct {
 	// levels, per-level vertex counts, coarsest graph size. Nil unless
 	// Options.Multilevel was honoured.
 	Hierarchy *HierarchyStats `json:"hierarchy,omitempty"`
+	// ExchangeRounds counts the incumbent-exchange rounds the solve
+	// completed — step-cadence barriers, V-cycle level boundaries, and
+	// cross-island gossip rounds alike. 0 for serial, non-exchanging runs.
+	ExchangeRounds int64 `json:"exchange_rounds,omitempty"`
+	// Island reports this process's island index when the run was federated
+	// (Options.Exchange set) or explicitly placed (Options.Island > 0);
+	// absent for plain single-process runs.
+	Island *int `json:"island,omitempty"`
 }
 
 // HierarchyStats is the shape of a multilevel run's coarsening hierarchy,
@@ -389,11 +428,17 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 			clamped = true
 		}
 	}
+	if mon == nil {
+		// The monitor doubles as the exchange-round counter the Result
+		// reports, so every solve gets one; trajectories are unaffected.
+		mon = NewMonitor()
+	}
 	start := time.Now()
 	run, err := spec.Run(ctx, g, opt.K, experiments.RunConfig{
 		Objective: obj, Budget: opt.Budget, MaxSteps: opt.MaxSteps,
 		Seed: opt.Seed, Parallelism: opt.Parallelism,
 		Multilevel: opt.Multilevel, CoarsenTo: opt.CoarsenTo, Monitor: mon,
+		Island: opt.Island, Relay: opt.Exchange,
 	})
 	if err != nil {
 		return nil, err
@@ -402,6 +447,11 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 	res := resultFrom(p, opt.Method, time.Since(start))
 	res.Workers = run.Workers
 	res.Hierarchy = run.Hierarchy
+	res.ExchangeRounds = mon.ExchangeRounds()
+	if opt.Exchange != nil || opt.Island > 0 {
+		island := opt.Island
+		res.Island = &island
+	}
 	// partial is the solver's own record of having observed the
 	// cancellation. A run truncated by a deadline-clamped budget is partial
 	// too — it spent the whole clamp without reaching its step cap, and its

@@ -16,6 +16,11 @@
 //     of one solver, periodically exchanging incumbents KaFFPaE-style
 //     (Sanders & Schulz, Distributed Evolutionary Graph Partitioning) and
 //     reduced deterministically to a single winner.
+//   - Transport: the incumbent-exchange boundary itself, as an interface —
+//     the in-process barrier for single-machine portfolios, or a federated
+//     transport that additionally trades each round's local winner against
+//     peer islands through a Relay (the HTTP long-poll gossip in
+//     internal/server), turning a fleet of processes into one portfolio.
 //
 // # Determinism
 //
@@ -137,10 +142,10 @@ type Loop struct {
 	rt            *Runtime
 	progressEvery int
 	hasBest       bool
-	deposited     bool // personal best already sits in the exchanger slot
+	deposited     bool // personal best already sits in the transport slot
 	bestE         float64
 	snapshot      func() []int32
-	foreign       *candidate
+	foreign       *Candidate
 	trace         []TracePoint
 	flushed       int64 // steps already published to the monitor
 }
@@ -245,7 +250,7 @@ func (l *Loop) Foreign() ([]int32, float64, bool) {
 		return nil, 0, false
 	}
 	l.foreign = nil
-	return c.assign, c.energy, true
+	return c.Assign, c.Energy, true
 }
 
 // Finish publishes any unreported progress. Next's own exits flush
@@ -274,7 +279,7 @@ func (l *Loop) runtimeStep() {
 	if rt.Monitor != nil && l.step%l.progressEvery == 0 {
 		l.flushProgress()
 	}
-	if rt.exch != nil && rt.SyncEvery > 0 && l.step%rt.SyncEvery == 0 {
+	if rt.transport != nil && rt.SyncEvery > 0 && l.step%rt.SyncEvery == 0 {
 		l.exchange()
 	}
 }
@@ -285,13 +290,13 @@ func (l *Loop) runtimeStep() {
 // or re-deposited.
 func (l *Loop) exchange() {
 	rt := l.rt
-	var own candidate
+	var own Candidate
 	if l.hasBest && !l.deposited {
-		own = candidate{assign: l.snapshot(), energy: l.bestE, worker: rt.Worker, has: true}
+		own = Candidate{Assign: l.snapshot(), Energy: l.bestE, Worker: rt.Worker, Has: true}
 		l.deposited = true
 	}
-	win, ok := rt.exch.sync(rt.Worker, own)
-	if ok && win.worker != rt.Worker && (!l.hasBest || win.energy < l.bestE) {
+	win, ok := rt.transport.Sync(rt.Worker, own)
+	if ok && !rt.ownCandidate(win) && (!l.hasBest || win.Energy < l.bestE) {
 		l.foreign = &win
 	}
 }

@@ -12,6 +12,10 @@ import (
 type Incumbent struct {
 	steps   atomic.Int64
 	workers atomic.Int32
+	rounds  atomic.Int64
+	// island is the 1-biased island index of a federated run (0 = not
+	// federated), so island 0 remains representable.
+	island atomic.Int64
 
 	mu     sync.Mutex
 	has    bool
@@ -61,6 +65,17 @@ func (inc *Incumbent) AddSteps(n int64) { inc.steps.Add(n) }
 // SetWorkers records how many portfolio workers feed this incumbent.
 func (inc *Incumbent) SetWorkers(n int) { inc.workers.Store(int32(n)) }
 
+// AddExchangeRound counts one completed incumbent-exchange round; the
+// transport calls it so live monitoring can show gossip activity.
+func (inc *Incumbent) AddExchangeRound() { inc.rounds.Add(1) }
+
+// ExchangeRounds returns the number of exchange rounds completed so far.
+func (inc *Incumbent) ExchangeRounds() int64 { return inc.rounds.Load() }
+
+// SetIsland records that the solve is federated and which island this
+// process is; Progress then reports the island id.
+func (inc *Incumbent) SetIsland(island int) { inc.island.Store(int64(island) + 1) }
+
 // Progress is a live snapshot of a running solve, served by the HTTP API on
 // GET /v1/jobs/{id} while the job runs.
 type Progress struct {
@@ -73,13 +88,25 @@ type Progress struct {
 	BestObjective *float64 `json:"best_objective,omitempty"`
 	// Workers is the portfolio width of the solve.
 	Workers int `json:"workers"`
+	// ExchangeRounds counts completed incumbent-exchange rounds — step-
+	// cadence barriers, V-cycle level boundaries, and cross-island gossip
+	// rounds alike — so a poller can watch exchange activity.
+	ExchangeRounds int64 `json:"exchange_rounds"`
+	// Island is this process's island index when the solve is federated
+	// across ffserve instances; absent for single-process runs.
+	Island *int `json:"island,omitempty"`
 }
 
 // Progress snapshots the live counters.
 func (inc *Incumbent) Progress() Progress {
 	p := Progress{
-		Steps:   inc.steps.Load(),
-		Workers: int(inc.workers.Load()),
+		Steps:          inc.steps.Load(),
+		Workers:        int(inc.workers.Load()),
+		ExchangeRounds: inc.rounds.Load(),
+	}
+	if biased := inc.island.Load(); biased > 0 {
+		island := int(biased - 1)
+		p.Island = &island
 	}
 	inc.mu.Lock()
 	if inc.has {

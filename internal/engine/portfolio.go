@@ -9,7 +9,10 @@ import (
 // DeriveSeed maps (base seed, worker index) to statistically independent
 // seeds with a splitmix64 finalizer, so parallel workers are not
 // seed-correlated. Worker 0 keeps the base seed itself: a one-worker
-// portfolio consumes exactly the serial solver's random stream.
+// portfolio consumes exactly the serial solver's random stream. In a
+// federated run the index is the worker's global index across the fleet
+// (PortfolioOptions.WorkerOffset + local index), so two islands sharing a
+// base seed never run identical streams.
 func DeriveSeed(base int64, worker int) int64 {
 	if worker == 0 {
 		return base
@@ -27,17 +30,21 @@ type Runtime struct {
 	Monitor *Incumbent
 	// Worker is this worker's index in [0, Workers).
 	Worker int
+	// Island is this process's island index in a federated run; 0 otherwise.
+	// Winner candidates carry (island, worker) coordinates, so a worker
+	// recognizes its own round win only when both match.
+	Island int
 	// SyncEvery is the incumbent-exchange cadence in loop steps; 0 never
 	// exchanges.
 	SyncEvery int
 
-	exch *exchanger
+	transport Transport
 }
 
-// Solo returns a runtime that shares this one's monitor and worker index but
-// is detached from the portfolio's incumbent exchange. The multilevel
-// V-cycle hands it to the coarsest-level solver so live progress keeps
-// flowing while exchanges happen only at level boundaries (through
+// Solo returns a runtime that shares this one's monitor, worker index and
+// island but is detached from the portfolio's incumbent exchange. The
+// multilevel V-cycle hands it to the coarsest-level solver so live progress
+// keeps flowing while exchanges happen only at level boundaries (through
 // Exchange), never at the solver's own step cadence — step-cadence
 // exchanges would swap partitions of different hierarchy levels between
 // workers. A nil receiver returns nil.
@@ -45,117 +52,35 @@ func (rt *Runtime) Solo() *Runtime {
 	if rt == nil {
 		return nil
 	}
-	return &Runtime{Monitor: rt.Monitor, Worker: rt.Worker}
+	return &Runtime{Monitor: rt.Monitor, Worker: rt.Worker, Island: rt.Island}
 }
 
 // Exchange performs one manual incumbent exchange outside any Loop: it
 // deposits (energy, snapshot()) as this worker's current best, blocks until
 // every active worker has reached its own exchange point for this round, and
 // returns the round winner's assignment and energy if it strictly beats the
-// deposited one and came from another worker. The multilevel V-cycle calls
-// it at level boundaries — its natural phase transitions — where all workers
-// hold partitions of the same graph, so the traded assignments are
-// commensurate. Deterministic for runs whose workers reach the same
-// boundaries in the same order (step-capped V-cycles do). On a nil runtime,
-// a runtime without portfolio attachment, or after cancellation stopped the
-// exchanger, it returns (nil, 0, false) without blocking.
+// deposited one and came from another worker (or another island). The
+// multilevel V-cycle calls it at level boundaries — its natural phase
+// transitions — where all workers hold partitions of the same graph, so the
+// traded assignments are commensurate. Deterministic for runs whose workers
+// reach the same boundaries in the same order (step-capped V-cycles do). On
+// a nil runtime, a runtime without transport attachment, or after
+// cancellation stopped the transport, it returns (nil, 0, false) without
+// blocking.
 func (rt *Runtime) Exchange(energy float64, snapshot func() []int32) ([]int32, float64, bool) {
-	if rt == nil || rt.exch == nil {
+	if rt == nil || rt.transport == nil {
 		return nil, 0, false
 	}
-	win, ok := rt.exch.sync(rt.Worker, candidate{assign: snapshot(), energy: energy, worker: rt.Worker, has: true})
-	if ok && win.worker != rt.Worker && win.energy < energy {
-		return win.assign, win.energy, true
+	win, ok := rt.transport.Sync(rt.Worker, Candidate{Assign: snapshot(), Energy: energy, Worker: rt.Worker, Has: true})
+	if ok && !rt.ownCandidate(win) && win.Energy < energy {
+		return win.Assign, win.Energy, true
 	}
 	return nil, 0, false
 }
 
-// candidate is one worker's deposited best.
-type candidate struct {
-	assign []int32
-	energy float64
-	worker int
-	has    bool
-}
-
-// exchanger is the barrier-synchronized incumbent exchange: each round,
-// every active worker deposits its personal best, the last arriver reduces
-// the round winner (lowest energy, ties to the lowest worker id), and all
-// workers leave the barrier with that same winner. Exchanging at step
-// indices behind a barrier — rather than whenever wall-clock timing lets a
-// worker peek — is what keeps a step-capped portfolio run deterministic.
-type exchanger struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	members int // workers still participating
-	waiting int
-	round   uint64
-	slots   []candidate
-	winner  candidate
-	stopped bool // context fired: every sync returns immediately
-}
-
-func newExchanger(workers int) *exchanger {
-	x := &exchanger{members: workers, slots: make([]candidate, workers)}
-	x.cond = sync.NewCond(&x.mu)
-	return x
-}
-
-// sync deposits worker w's best and blocks until the round completes (all
-// active members arrived or the exchanger stopped), returning the round
-// winner. Slots persist across rounds, so a worker that stopped early keeps
-// contributing its final best.
-func (x *exchanger) sync(w int, own candidate) (candidate, bool) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	if own.has {
-		x.slots[w] = own
-	}
-	if x.stopped || x.members <= 1 {
-		return x.winner, x.winner.has
-	}
-	round := x.round
-	x.waiting++
-	if x.waiting == x.members {
-		x.completeRoundLocked()
-	} else {
-		for x.round == round && !x.stopped {
-			x.cond.Wait()
-		}
-	}
-	return x.winner, x.winner.has
-}
-
-// leave withdraws a finished worker; if everyone else is already waiting,
-// the round completes without it.
-func (x *exchanger) leave() {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.members--
-	if x.members > 0 && x.waiting == x.members {
-		x.completeRoundLocked()
-	}
-}
-
-// stop aborts all current and future rounds (context cancelled).
-func (x *exchanger) stop() {
-	x.mu.Lock()
-	x.stopped = true
-	x.cond.Broadcast()
-	x.mu.Unlock()
-}
-
-func (x *exchanger) completeRoundLocked() {
-	x.waiting = 0
-	x.round++
-	win := candidate{}
-	for _, c := range x.slots {
-		if c.has && (!win.has || c.energy < win.energy) {
-			win = c
-		}
-	}
-	x.winner = win
-	x.cond.Broadcast()
+// ownCandidate reports whether c was deposited by this very worker.
+func (rt *Runtime) ownCandidate(c Candidate) bool {
+	return c.Island == rt.Island && c.Worker == rt.Worker
 }
 
 // PortfolioOptions configures a multi-worker portfolio run.
@@ -164,20 +89,35 @@ type PortfolioOptions struct {
 	// GOMAXPROCS). With Workers 1 the solve runs inline on the calling
 	// goroutine and is bit-identical to a direct serial call.
 	Workers int
-	// Seed is the base seed; worker w solves with DeriveSeed(Seed, w).
+	// Seed is the base seed; worker w solves with
+	// DeriveSeed(Seed, WorkerOffset+w).
 	Seed int64
 	// SyncEvery is the incumbent-exchange cadence in loop steps (0 = the
-	// workers never exchange and the portfolio is an independent
-	// multi-start).
+	// workers never exchange at step indices; manual Runtime.Exchange
+	// boundaries still work).
 	SyncEvery int
 	// Monitor optionally receives live progress from all workers.
 	Monitor *Incumbent
+	// Island is this process's island index in a federated run; it stamps
+	// deposited candidates for the deterministic (energy, island, worker)
+	// tie-break. 0 for single-process runs.
+	Island int
+	// WorkerOffset is added to local worker indices when deriving seeds —
+	// island*width in a federated fleet — so every worker across the fleet
+	// draws from a distinct stream even though all islands share Seed.
+	WorkerOffset int
+	// Relay, when non-nil, federates the portfolio: each exchange round's
+	// local winner is traded against the peer islands and the global winner
+	// is what every worker receives. A relay forces the transport path even
+	// for Workers 1 (a one-worker island still gossips).
+	Relay Relay
 }
 
 // Portfolio runs one solver as opt.Workers concurrent, independently seeded
-// instances that exchange incumbents through their Loops, and reduces the
-// outcomes to a deterministic winner: the lowest energy, ties to the lowest
-// worker index. Worker errors are tolerated while at least one worker
+// instances that exchange incumbents through a Transport (the in-process
+// barrier, federated across islands when a Relay is attached), and reduces
+// the outcomes to a deterministic winner: the lowest energy, ties to the
+// lowest worker index. Worker errors are tolerated while at least one worker
 // produces a result; if all fail, the lowest-indexed worker's error (or the
 // context's, once it fired) is returned.
 func Portfolio[R any](ctx context.Context, opt PortfolioOptions,
@@ -190,19 +130,22 @@ func Portfolio[R any](ctx context.Context, opt PortfolioOptions,
 	}
 	if opt.Monitor != nil {
 		opt.Monitor.SetWorkers(workers)
+		if opt.Relay != nil {
+			opt.Monitor.SetIsland(opt.Island)
+		}
 	}
-	if workers == 1 {
-		rt := &Runtime{Monitor: opt.Monitor, Worker: 0, SyncEvery: opt.SyncEvery}
-		res, err := solve(ctx, rt, DeriveSeed(opt.Seed, 0))
+	if workers == 1 && opt.Relay == nil {
+		rt := &Runtime{Monitor: opt.Monitor, Worker: 0, Island: opt.Island, SyncEvery: opt.SyncEvery}
+		res, err := solve(ctx, rt, DeriveSeed(opt.Seed, opt.WorkerOffset))
 		return res, 1, err
 	}
 
-	exch := newExchanger(workers)
+	exch := newExchanger(workers, opt.Island, opt.Relay, opt.Monitor)
 	watchDone := make(chan struct{})
 	go func() { // wake barrier waiters the moment the context fires
 		select {
 		case <-ctx.Done():
-			exch.stop()
+			exch.Stop()
 		case <-watchDone:
 		}
 	}()
@@ -214,9 +157,9 @@ func Portfolio[R any](ctx context.Context, opt PortfolioOptions,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rt := &Runtime{Monitor: opt.Monitor, Worker: w, SyncEvery: opt.SyncEvery, exch: exch}
-			defer exch.leave()
-			results[w], errs[w] = solve(ctx, rt, DeriveSeed(opt.Seed, w))
+			rt := &Runtime{Monitor: opt.Monitor, Worker: w, Island: opt.Island, SyncEvery: opt.SyncEvery, transport: exch}
+			defer exch.Leave(w)
+			results[w], errs[w] = solve(ctx, rt, DeriveSeed(opt.Seed, opt.WorkerOffset+w))
 		}(w)
 	}
 	wg.Wait()

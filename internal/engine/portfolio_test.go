@@ -172,7 +172,7 @@ func TestPortfolioCancellationUnblocksBarrier(t *testing.T) {
 				sync = 0 // never participates in a round
 			}
 			loop := NewLoop(ctx, LoopOptions{PollEvery: 1, Runtime: &Runtime{
-				Monitor: rt.Monitor, Worker: rt.Worker, SyncEvery: sync, exch: rt.exch,
+				Monitor: rt.Monitor, Worker: rt.Worker, SyncEvery: sync, transport: rt.transport,
 			}})
 			loop.Improved(float64(rt.Worker), func() []int32 { return []int32{0} })
 			for loop.Next() {
@@ -222,12 +222,12 @@ func TestRuntimeSolo(t *testing.T) {
 		t.Fatal("nil.Solo() != nil")
 	}
 	mon := NewIncumbent()
-	rt := &Runtime{Monitor: mon, Worker: 3, SyncEvery: 64, exch: newExchanger(2)}
+	rt := &Runtime{Monitor: mon, Worker: 3, SyncEvery: 64, transport: NewLocalTransport(2, nil)}
 	solo := rt.Solo()
 	if solo.Monitor != mon || solo.Worker != 3 {
 		t.Fatal("Solo dropped monitor or worker index")
 	}
-	if solo.exch != nil || solo.SyncEvery != 0 {
+	if solo.transport != nil || solo.SyncEvery != 0 {
 		t.Fatal("Solo kept the exchange attachment")
 	}
 	// A detached runtime's Exchange is a non-blocking no-op.

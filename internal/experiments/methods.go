@@ -55,6 +55,15 @@ type RunConfig struct {
 	// Monitor optionally receives live progress (steps, best objective,
 	// workers); used by the server's job-polling endpoint.
 	Monitor *engine.Incumbent
+	// Island is this process's island index in a federated run; it offsets
+	// worker-seed derivation (island*width) and breaks cross-island winner
+	// ties. 0 for single-process runs.
+	Island int
+	// Relay, when non-nil, federates the portfolio's incumbent exchange
+	// across islands: each round's local winner is traded with the peers
+	// and every worker receives the fleet-wide winner. Used by the server's
+	// HTTP island transport; nil for single-process runs.
+	Relay engine.Relay
 }
 
 // RunResult is one method run's outcome.
@@ -182,6 +191,10 @@ func portfolio[R any](ctx context.Context, cfg RunConfig, syncEvery int,
 	}
 	return engine.Portfolio(ctx, engine.PortfolioOptions{
 		Workers: workers, Seed: cfg.Seed, SyncEvery: syncEvery, Monitor: cfg.Monitor,
+		// The fleet-global seed offset: island i's workers are indices
+		// [i*width, (i+1)*width), so islands sharing a base seed still draw
+		// from disjoint splitmix64 streams.
+		Island: cfg.Island, WorkerOffset: cfg.Island * workers, Relay: cfg.Relay,
 	}, energy, solve)
 }
 

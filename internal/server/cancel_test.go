@@ -87,7 +87,7 @@ func TestCancelledJobLeaksNoGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := s.pool.submit(g, opt, "", time.Minute)
+	j, err := s.pool.submit(g, opt, "", time.Minute, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,13 @@ type PartitionRequest struct {
 	// NoCache forces a fresh computation, bypassing the result cache for
 	// both lookup and store.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Federate opts this job into the island fleet: the run trades
+	// incumbents with the server's configured peers at the usual exchange
+	// points, and the result reports the island id and exchange round
+	// count. Requires a server started with peers (400 otherwise). Submit
+	// the identical request to every fleet member — the jobs pair up by
+	// graph content and options. Federated jobs bypass the result cache.
+	Federate bool `json:"federate,omitempty"`
 }
 
 // GraphSpec carries an inline graph in one of two encodings.
@@ -190,11 +197,18 @@ func (r *PartitionRequest) timeout(def time.Duration) (time.Duration, error) {
 	return d, nil
 }
 
-// graphDigest hashes a graph's full content — vertex count, vertex weights,
+// graphDigest is graphHash rendered as hex for cache and exchange keys.
+func graphDigest(g *graph.Graph) string {
+	h := graphHash(g)
+	return hex.EncodeToString(h[:])
+}
+
+// graphHash hashes a graph's full content — vertex count, vertex weights,
 // and the sorted CSR adjacency with edge weights — so that the same graph
 // submitted as METIS text or as an edge list (in any edge order) lands on
-// the same digest.
-func graphDigest(g *graph.Graph) string {
+// the same digest. The raw bytes travel in wire messages so islands can
+// refuse cross-graph candidates.
+func graphHash(g *graph.Graph) [sha256.Size]byte {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(x int64) {
@@ -220,7 +234,9 @@ func graphDigest(g *graph.Graph) string {
 			writeFloat(wts[i])
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // cacheKey identifies a computation: graph content plus every option that
@@ -235,4 +251,19 @@ func cacheKey(digest string, opt ff.Options) string {
 	}
 	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d",
 		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo)
+}
+
+// exchangeKey pairs fanned-out federated jobs across islands: the graph
+// digest plus the option fields every island sees identically. Budget and
+// parallelism are deliberately excluded — both are clamped by each server's
+// own config, and a fleet of different widths is legitimate (each island
+// still deposits one candidate per round). The island id itself is never
+// part of the key.
+func exchangeKey(digest string, opt ff.Options) string {
+	ml := 0
+	if opt.Multilevel {
+		ml = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo)
 }

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// islandExchangePath is the gossip endpoint federated ffserve instances
+// trade incumbents over.
+const islandExchangePath = "/v1/islands/exchange"
+
+// maxExchangeBody bounds a peer's candidate message (64 MiB ≈ a 16M-vertex
+// assignment — far beyond anything this service partitions inline).
+const maxExchangeBody = 64 << 20
+
+// islandHub is one ffserve instance's side of the fleet gossip: it holds,
+// per fanned-out job, the candidates this island has deposited round by
+// round, and answers peers' long-polls for them. The protocol is symmetric
+// push-pull: an island POSTs its own round-R candidate to every peer and
+// the response carries that peer's round-R candidate; each side then
+// reduces the identical candidate set with the identical comparison
+// (engine.ReduceWinner), so all islands leave round R holding the same
+// winner without any coordinator.
+type islandHub struct {
+	island int
+	peers  []string
+	wait   time.Duration // long-poll cap for a missing deposit
+	client *http.Client
+
+	mu   sync.Mutex
+	jobs map[string]*islandJob
+	gcAt time.Time
+}
+
+// islandJob is the hub's state for one exchange key: the rounds this island
+// has deposited, and whether the local job has finished (after which every
+// future round is answered immediately with the final candidate, so peers
+// whose runs drift a round past ours never hang).
+type islandJob struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// hash pins the graph the job partitions; zero until a local job opens
+	// the key (a peer's early poll creates a placeholder without it).
+	hash    [wire.HashLen]byte
+	hasHash bool
+
+	deposits map[uint64]*wire.Message
+	last     *wire.Message // most recent deposit; the final answer once done
+	done     bool
+
+	createdAt  time.Time
+	finishedAt time.Time
+}
+
+func newIslandHub(island int, peers []string, wait time.Duration) *islandHub {
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	return &islandHub{
+		island: island,
+		peers:  peers,
+		wait:   wait,
+		client: &http.Client{}, // per-request contexts bound the long-polls
+		jobs:   make(map[string]*islandJob),
+	}
+}
+
+// jobFor returns the hub entry for key, creating a placeholder if needed.
+func (h *islandHub) jobFor(key string) *islandJob {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gcLocked()
+	j, ok := h.jobs[key]
+	if !ok {
+		j = &islandJob{deposits: make(map[uint64]*wire.Message), createdAt: time.Now()}
+		j.cond = sync.NewCond(&j.mu)
+		h.jobs[key] = j
+	}
+	return j
+}
+
+// gcLocked drops entries finished (or abandoned as placeholders) long ago.
+// Finished entries linger for a grace window so a peer that is a round
+// behind can still collect the final candidate. Caller holds h.mu.
+func (h *islandHub) gcLocked() {
+	const grace = 2 * time.Minute
+	now := time.Now()
+	if now.Sub(h.gcAt) < grace/4 {
+		return
+	}
+	h.gcAt = now
+	for key, j := range h.jobs {
+		j.mu.Lock()
+		expired := (j.done && now.Sub(j.finishedAt) > grace) ||
+			(!j.done && !j.hasHash && now.Sub(j.createdAt) > grace) // peer poked a job we never received
+		j.mu.Unlock()
+		if expired {
+			delete(h.jobs, key)
+		}
+	}
+}
+
+// federation carries a federated submission's island-fleet binding from
+// the HTTP handler into the pool.
+type federation struct {
+	hub  *islandHub
+	key  string
+	hash [wire.HashLen]byte
+}
+
+// open binds a local job to its exchange key and returns the relay its
+// portfolio exchanges through. ctx is the job's context: it bounds every
+// peer call, so cancelling the job unblocks in-flight gossip.
+func (h *islandHub) open(ctx context.Context, key string, hash [wire.HashLen]byte, k int) *islandRelay {
+	j := h.jobFor(key)
+	j.mu.Lock()
+	j.hash = hash
+	j.hasHash = true
+	// A resubmitted key (e.g. a NoCache repeat of a finished fan-out)
+	// starts a fresh round ledger.
+	if j.done {
+		j.done = false
+		j.deposits = make(map[uint64]*wire.Message)
+		j.last = nil
+	}
+	j.mu.Unlock()
+	return &islandRelay{hub: h, job: j, key: key, hash: hash, k: k, ctx: ctx}
+}
+
+// finish marks the job done: peers polling any future round immediately
+// receive the final deposited candidate.
+func (h *islandHub) finish(key string) {
+	h.mu.Lock()
+	j, ok := h.jobs[key]
+	h.mu.Unlock()
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	j.done = true
+	j.finishedAt = time.Now()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// deposit publishes this island's round-r candidate and wakes peer polls.
+func (j *islandJob) deposit(r uint64, msg *wire.Message) {
+	j.mu.Lock()
+	j.deposits[r] = msg
+	j.last = msg
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// await long-polls for this island's round-r candidate: it returns the
+// deposit once it lands, the final candidate once the job is done, or nil
+// when ctx expires first.
+func (j *islandJob) await(r uint64, ctx context.Context) *wire.Message {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if m, ok := j.deposits[r]; ok {
+			return m
+		}
+		if j.done {
+			return j.last // may be nil: job finished without any deposit
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		// cond has no context-aware wait; a watcher goroutine per await
+		// would be heavier than waking all waiters on a coarse tick.
+		waitCond(j.cond, &j.mu, ctx)
+	}
+}
+
+// waitCond waits on cond, waking when ctx fires. The spawned watcher exists
+// only while the wait is blocked. Caller holds mu.
+func waitCond(cond *sync.Cond, mu *sync.Mutex, ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			cond.Broadcast()
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+	cond.Wait()
+	close(done)
+}
+
+// islandRelay implements engine.Relay for one job: deposit the local round
+// winner, push-pull it against every peer, and reduce the global winner.
+type islandRelay struct {
+	hub  *islandHub
+	job  *islandJob
+	key  string
+	hash [wire.HashLen]byte
+	k    int
+	ctx  context.Context
+
+	warned sync.Map // peer URL -> struct{}: log each unreachable peer once
+}
+
+// Exchange implements engine.Relay. Peer failures (down, slow, cross-graph)
+// skip that peer's candidate and the round degrades toward the local
+// winner; the run never blocks on a dead island beyond the long-poll cap.
+func (r *islandRelay) Exchange(round uint64, local engine.Candidate) (engine.Candidate, bool, error) {
+	msg := &wire.Message{
+		K:         int32(r.k),
+		Island:    int32(r.hub.island),
+		Worker:    int32(local.Worker),
+		Round:     round,
+		Objective: local.Energy,
+		GraphHash: r.hash,
+		Key:       r.key,
+		Has:       local.Has,
+	}
+	if local.Has {
+		msg.Assign = local.Assign
+	}
+	r.job.deposit(round, msg)
+
+	cands := make([]engine.Candidate, 1, 1+len(r.hub.peers))
+	cands[0] = local
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	body := msg.Encode()
+	for _, peer := range r.hub.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			c, err := r.askPeer(peer, body)
+			if err != nil {
+				// A cancelled job tears down its in-flight gossip; that is
+				// not a peer failure worth a log line.
+				if !errors.Is(err, context.Canceled) {
+					if _, dup := r.warned.LoadOrStore(peer, struct{}{}); !dup {
+						log.Printf("island %d: exchange with %s failed: %v", r.hub.island, peer, err)
+					}
+				}
+				return
+			}
+			if c.Has {
+				mu.Lock()
+				cands = append(cands, c)
+				mu.Unlock()
+			}
+		}(peer)
+	}
+	wg.Wait()
+	win, ok := engine.ReduceWinner(cands)
+	return win, ok, nil
+}
+
+// askPeer POSTs this island's candidate to one peer and decodes the peer's
+// candidate for the same round from the response.
+func (r *islandRelay) askPeer(peer string, body []byte) (engine.Candidate, error) {
+	ctx, cancel := context.WithTimeout(r.ctx, r.hub.wait)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+islandExchangePath, bytes.NewReader(body))
+	if err != nil {
+		return engine.Candidate{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hub.client.Do(req)
+	if err != nil {
+		return engine.Candidate{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return engine.Candidate{}, nil // peer had no candidate in time
+	}
+	if resp.StatusCode != http.StatusOK {
+		return engine.Candidate{}, fmt.Errorf("peer answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxExchangeBody+1))
+	if err != nil {
+		return engine.Candidate{}, err
+	}
+	if len(data) > maxExchangeBody {
+		return engine.Candidate{}, fmt.Errorf("peer response exceeds %d bytes", maxExchangeBody)
+	}
+	m, err := wire.Decode(data)
+	if err != nil {
+		return engine.Candidate{}, err
+	}
+	if m.GraphHash != r.hash {
+		return engine.Candidate{}, fmt.Errorf("peer candidate is for a different graph (content hash mismatch)")
+	}
+	if !m.Has {
+		return engine.Candidate{}, nil
+	}
+	if int(m.K) != r.k {
+		return engine.Candidate{}, fmt.Errorf("peer candidate has k=%d, want %d", m.K, r.k)
+	}
+	return engine.Candidate{
+		Assign: m.Assign,
+		Energy: m.Objective,
+		Island: int(m.Island),
+		Worker: int(m.Worker),
+		Has:    true,
+	}, nil
+}
+
+// handleIslandExchange serves POST /v1/islands/exchange: a peer pushes its
+// round-R candidate and long-polls for ours. 204 means "no candidate in
+// time" (the peer degrades its round to the remaining candidates), 409
+// refuses a candidate for a different graph than our job's.
+func (s *Server) handleIslandExchange(w http.ResponseWriter, req *http.Request) {
+	if s.hub == nil {
+		writeError(w, http.StatusNotFound, "this server is not part of an island fleet (start with -island-id and -peers)")
+		return
+	}
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(req.Body, maxExchangeBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(data) > maxExchangeBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "candidate exceeds %d bytes", maxExchangeBody)
+		return
+	}
+	m, err := wire.Decode(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.hub.jobFor(m.Key)
+	j.mu.Lock()
+	refuse := j.hasHash && j.hash != m.GraphHash
+	j.mu.Unlock()
+	if refuse {
+		writeError(w, http.StatusConflict, "candidate is for a different graph than job %q", m.Key)
+		return
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), s.hub.wait)
+	defer cancel()
+	own := j.await(m.Round, ctx)
+	if own == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(own.Encode())
+}

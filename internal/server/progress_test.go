@@ -6,6 +6,111 @@ import (
 	"time"
 )
 
+// cancelJob issues DELETE /v1/jobs/{id} and checks it succeeded.
+func cancelJob(t *testing.T, base, poll string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+poll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel %s: code %d", poll, resp.StatusCode)
+	}
+}
+
+// TestJobProgressExchangeRounds: a running portfolio job's progress must
+// count completed incumbent-exchange rounds, and a local (non-federated) run
+// must not claim an island id.
+func TestJobProgressExchangeRounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxParallelism: 2})
+
+	// The genetic method exchanges every 4 steps, so rounds accumulate
+	// almost immediately once the portfolio is running.
+	req := slowJob("20s")
+	req.Method = "genetic"
+	req.Parallelism = 2
+	code, pr := post(t, ts, req)
+	if code != http.StatusAccepted || pr.JobID == "" {
+		t.Fatalf("submit: code %d, %+v", code, pr)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	var got partitionResponse
+	for {
+		if code := getJSON(t, ts.URL+pr.Poll, &got); code != http.StatusOK {
+			t.Fatalf("poll: code %d", code)
+		}
+		if got.Status == statusDone || got.Status == statusFailed || got.Status == statusCancelled {
+			t.Fatalf("slow job ended early: %s %s", got.Status, got.Error)
+		}
+		if got.Status == statusRunning && got.Progress != nil && got.Progress.ExchangeRounds > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no exchange rounds surfaced; last progress: %+v", got.Progress)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Progress.Island != nil {
+		t.Fatalf("local run claims island %d", *got.Progress.Island)
+	}
+	cancelJob(t, ts.URL, pr.Poll)
+}
+
+// TestJobProgressFederatedIsland: while a federated job runs, its progress
+// must report the configured island id alongside the exchange-round count.
+func TestJobProgressFederatedIsland(t *testing.T) {
+	f := newFleet(t, 10*time.Second)
+
+	// A long-running federated job on each island, submitted asynchronously
+	// so the test can poll island 1's progress mid-run.
+	req := federatedRequest()
+	req.Method = "genetic"
+	req.MaxSteps = 0
+	req.Budget = "20s"
+	wait := false
+	req.Wait = &wait
+
+	var polls [2]string
+	for i := 0; i < 2; i++ {
+		code, pr := postURL(t, f.urls[i], req)
+		if code != http.StatusAccepted || pr.JobID == "" {
+			t.Fatalf("island %d submit: code %d, %+v", i, code, pr)
+		}
+		polls[i] = pr.Poll
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	var got partitionResponse
+	for {
+		if code := getJSON(t, f.urls[1]+polls[1], &got); code != http.StatusOK {
+			t.Fatalf("poll: code %d", code)
+		}
+		if got.Status == statusDone || got.Status == statusFailed || got.Status == statusCancelled {
+			t.Fatalf("federated job ended early: %s %s", got.Status, got.Error)
+		}
+		if got.Status == statusRunning && got.Progress != nil &&
+			got.Progress.ExchangeRounds > 0 && got.Progress.Island != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated progress incomplete; last: %+v", got.Progress)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if *got.Progress.Island != 1 {
+		t.Fatalf("island 1's progress reports island %d", *got.Progress.Island)
+	}
+	for i := 0; i < 2; i++ {
+		cancelJob(t, f.urls[i], polls[i])
+	}
+}
+
 // TestJobProgressWhileRunning polls a running portfolio job and expects the
 // engine's live incumbent snapshot — steps, best objective, workers — to
 // appear on GET /v1/jobs/{id}, then disappear once the job is cancelled.

@@ -40,6 +40,12 @@ type job struct {
 	opt ff.Options
 	mon *ff.Monitor // live progress, snapshotted by GET /v1/jobs/{id}
 
+	// hub and fedKey bind a federated job to the island hub: finish()
+	// notifies the hub so peers polling later rounds get the final
+	// candidate instead of hanging. Both zero for local jobs.
+	hub    *islandHub
+	fedKey string
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed exactly once, when the job finishes
@@ -73,6 +79,9 @@ func (j *job) finish(status jobStatus, res *ff.Result, err error) bool {
 	j.err = err
 	j.finishedAt = time.Now()
 	close(j.done)
+	if j.hub != nil {
+		j.hub.finish(j.fedKey)
+	}
 	return true
 }
 
@@ -123,7 +132,9 @@ func newPool(workers, depth int, cache *resultCache, jobTTL time.Duration) *pool
 
 // submit enqueues a computation, or attaches to an in-flight job with the
 // same cache key. timeout bounds the job end to end: queue wait plus run.
-func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.Duration) (*job, error) {
+// fed, when non-nil, binds the job to the island hub: the run exchanges
+// incumbents through the fleet and the hub learns when the job finishes.
+func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.Duration, fed *federation) (*job, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -143,6 +154,9 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 	}
 	p.seq++
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	if fed != nil {
+		opt.Exchange = fed.hub.open(ctx, fed.key, fed.hash, opt.K)
+	}
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", p.seq),
 		key:       key,
@@ -155,6 +169,10 @@ func (p *pool) submit(g *graph.Graph, opt ff.Options, key string, timeout time.D
 		done:      make(chan struct{}),
 		status:    statusQueued,
 		createdAt: time.Now(),
+	}
+	if fed != nil {
+		j.hub = fed.hub
+		j.fedKey = fed.key
 	}
 	select {
 	case p.queue <- j:

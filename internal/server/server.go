@@ -54,6 +54,20 @@ type Config struct {
 	JobTTL time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+
+	// IslandID identifies this instance inside a federated fleet; it is the
+	// deterministic reduction tie-break after the objective, so every fleet
+	// member needs a distinct id. Meaningful only with Peers.
+	IslandID int
+	// Peers lists the base URLs (scheme://host:port) of the other islands in
+	// the fleet. Non-empty Peers enables POST /v1/islands/exchange and lets
+	// requests opt into federation with "federate": true.
+	Peers []string
+	// ExchangeWait caps the long-poll for a peer's candidate in one exchange
+	// round (default 30s). A peer that cannot answer within the window is
+	// skipped for that round; the run continues with the remaining
+	// candidates.
+	ExchangeWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +107,7 @@ type Server struct {
 	cfg   Config
 	cache *resultCache
 	pool  *pool
+	hub   *islandHub // nil unless the server has island peers
 	start time.Time
 }
 
@@ -100,12 +115,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := newResultCache(cfg.CacheSize)
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cache: cache,
 		pool:  newPool(cfg.Workers, cfg.QueueDepth, cache, cfg.JobTTL),
 		start: time.Now(),
 	}
+	if len(cfg.Peers) > 0 {
+		s.hub = newIslandHub(cfg.IslandID, cfg.Peers, cfg.ExchangeWait)
+	}
+	return s
 }
 
 // Close stops accepting jobs and waits for in-flight work to finish.
@@ -118,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/methods", s.handleMethods)
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc(islandExchangePath, s.handleIslandExchange)
 	return mux
 }
 
@@ -156,12 +176,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"pool":           s.pool.snapshot(),
 		"cache":          s.cache.stats(),
-	})
+	}
+	if s.hub != nil {
+		body["island"] = map[string]any{"id": s.cfg.IslandID, "peers": s.hub.peers}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
@@ -206,8 +230,22 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Federated jobs never touch the result cache (key stays ""): a cache
+	// hit on one island would skip the run — and its exchange rounds — while
+	// a recomputing peer still expects a partner every round.
+	var fed *federation
+	if req.Federate {
+		if s.hub == nil {
+			writeError(w, http.StatusBadRequest,
+				"federate requested but this server has no island peers (start ffserve with -island-id and -peers)")
+			return
+		}
+		opt.Island = s.cfg.IslandID
+		fed = &federation{hub: s.hub, key: exchangeKey(graphDigest(g), opt), hash: graphHash(g)}
+	}
+
 	key := ""
-	if !req.NoCache {
+	if !req.NoCache && fed == nil {
 		key = cacheKey(graphDigest(g), opt)
 		if res, ok := s.cache.get(key); ok {
 			writeJSON(w, http.StatusOK, partitionResponse{
@@ -217,7 +255,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.pool.submit(g, opt, key, timeout)
+	j, err := s.pool.submit(g, opt, key, timeout, fed)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			w.Header().Set("Retry-After", "1")

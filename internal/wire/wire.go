@@ -1,0 +1,187 @@
+// Package wire is the versioned binary codec for partition candidates
+// travelling between federated ffserve islands. A Message carries everything
+// a peer needs to adopt (or refuse) an incumbent: the partition itself as
+// int32 labels, its objective value, the (island, worker) coordinates that
+// break reduction ties deterministically, the exchange round it belongs to,
+// the job key that pairs fanned-out jobs across islands, and the SHA-256
+// content hash of the graph — a receiver refuses candidates whose hash does
+// not match its own job's graph, so a misconfigured fleet can never adopt a
+// partition of a different graph.
+//
+// The encoding is a fixed little-endian layout behind a 4-byte magic and a
+// version byte, with no variable-length integers: Decode validates every
+// length against the buffer before allocating, rejects trailing bytes, and
+// checks each assignment label against K, so a fuzzer-supplied buffer can
+// neither over-allocate nor smuggle an out-of-range label into a solver.
+// Encoding is canonical — Decode∘Encode is the identity on bytes — which
+// keeps content-addressed uses (dedup, logs) stable.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// magic identifies a wire-encoded candidate; the trailing byte is free for
+// a future format break (the version byte handles compatible revisions).
+var magic = [4]byte{'F', 'F', 'W', 'P'}
+
+// Version is the current codec version; Decode rejects anything newer.
+const Version = 1
+
+// MaxKeyLen bounds the job-key string; keys are cache-key-shaped (a hex
+// digest plus option fields), far below this.
+const MaxKeyLen = 4096
+
+// MaxVertices bounds the assignment length a decoder will allocate
+// (2^28 labels = 1 GiB; real graphs in this repository are far smaller).
+const MaxVertices = 1 << 28
+
+// HashLen is the byte length of the graph content hash (SHA-256).
+const HashLen = 32
+
+// Message is one island's candidate for one exchange round.
+type Message struct {
+	// K is the number of parts; assignment labels lie in [0, K).
+	K int32
+	// Island and Worker are the producing worker's fleet coordinates,
+	// the deterministic reduction tie-break after the objective.
+	Island int32
+	Worker int32
+	// Round is the exchange round the candidate was deposited for; islands
+	// pair candidates by (Key, Round).
+	Round uint64
+	// Objective is the candidate's objective value (lower is better).
+	Objective float64
+	// GraphHash is the SHA-256 content hash of the graph the assignment
+	// partitions; receivers refuse cross-graph candidates.
+	GraphHash [HashLen]byte
+	// Key pairs fanned-out jobs across islands: the graph digest plus the
+	// island-independent option fields, identical on every island that
+	// received the same request.
+	Key string
+	// Has marks a real candidate. A worker can reach an exchange before
+	// any personal best exists; the message still travels (round
+	// alignment), just with an empty assignment.
+	Has bool
+	// Assign is the partition as compact labels in [0, K); empty when
+	// !Has.
+	Assign []int32
+}
+
+// headerLen is the fixed prefix: magic(4) version(1) has(1) k(4) island(4)
+// worker(4) round(8) objective(8) hash(32) keyLen(2) n(4).
+const headerLen = 4 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + HashLen + 2 + 4
+
+// EncodedLen returns the exact byte length Encode will produce.
+func (m *Message) EncodedLen() int { return headerLen + len(m.Key) + 4*len(m.Assign) }
+
+// Encode serializes the message. It panics on structurally impossible
+// messages (oversized key or assignment) — those are programming errors on
+// the sending side, not remote input.
+func (m *Message) Encode() []byte {
+	if len(m.Key) > MaxKeyLen {
+		panic(fmt.Sprintf("wire: key length %d exceeds MaxKeyLen", len(m.Key)))
+	}
+	if len(m.Assign) > MaxVertices {
+		panic(fmt.Sprintf("wire: assignment length %d exceeds MaxVertices", len(m.Assign)))
+	}
+	buf := make([]byte, 0, m.EncodedLen())
+	buf = append(buf, magic[:]...)
+	buf = append(buf, Version)
+	if m.Has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.K))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Island))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Worker))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Round)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Objective))
+	buf = append(buf, m.GraphHash[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Assign)))
+	buf = append(buf, m.Key...)
+	for _, a := range m.Assign {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	return buf
+}
+
+// Decode parses and validates one message, rejecting short buffers,
+// foreign magic, unknown versions, inconsistent lengths, trailing bytes,
+// non-finite objectives and out-of-range labels. The returned message owns
+// its memory; data may be reused.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("wire: message truncated: %d bytes, want at least %d", len(data), headerLen)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, fmt.Errorf("wire: bad magic %q", data[:4])
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (this build speaks %d)", v, Version)
+	}
+	var m Message
+	switch data[5] {
+	case 0:
+		m.Has = false
+	case 1:
+		m.Has = true
+	default:
+		return nil, fmt.Errorf("wire: bad has flag %d", data[5])
+	}
+	off := 6
+	m.K = int32(binary.LittleEndian.Uint32(data[off:]))
+	m.Island = int32(binary.LittleEndian.Uint32(data[off+4:]))
+	m.Worker = int32(binary.LittleEndian.Uint32(data[off+8:]))
+	m.Round = binary.LittleEndian.Uint64(data[off+12:])
+	m.Objective = math.Float64frombits(binary.LittleEndian.Uint64(data[off+20:]))
+	off += 28
+	copy(m.GraphHash[:], data[off:off+HashLen])
+	off += HashLen
+	keyLen := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if m.K < 0 {
+		return nil, fmt.Errorf("wire: negative k %d", m.K)
+	}
+	if m.Island < 0 || m.Worker < 0 {
+		return nil, fmt.Errorf("wire: negative coordinates island=%d worker=%d", m.Island, m.Worker)
+	}
+	if keyLen > MaxKeyLen {
+		return nil, fmt.Errorf("wire: key length %d exceeds %d", keyLen, MaxKeyLen)
+	}
+	if n > MaxVertices {
+		return nil, fmt.Errorf("wire: assignment length %d exceeds %d", n, MaxVertices)
+	}
+	if m.Has && math.IsNaN(m.Objective) {
+		return nil, fmt.Errorf("wire: objective is NaN")
+	}
+	if m.Has && (m.K < 1 || n < 1) {
+		return nil, fmt.Errorf("wire: candidate with k=%d, n=%d", m.K, n)
+	}
+	if !m.Has && n != 0 {
+		return nil, fmt.Errorf("wire: empty candidate carries %d labels", n)
+	}
+	want := headerLen + keyLen + 4*n
+	if len(data) != want {
+		return nil, fmt.Errorf("wire: length mismatch: %d bytes for key %d + %d labels (want %d)", len(data), keyLen, n, want)
+	}
+	m.Key = string(data[off : off+keyLen])
+	off += keyLen
+	if n > 0 {
+		m.Assign = make([]int32, n)
+		for i := range m.Assign {
+			a := int32(binary.LittleEndian.Uint32(data[off+4*i:]))
+			if a < 0 || a >= m.K {
+				return nil, fmt.Errorf("wire: label %d at vertex %d out of range [0,%d)", a, i, m.K)
+			}
+			m.Assign[i] = a
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleMessage() *Message {
+	m := &Message{
+		K:         4,
+		Island:    1,
+		Worker:    2,
+		Round:     7,
+		Objective: 1.25,
+		Key:       "deadbeef|fusion-fission|4|mcut|9",
+		Has:       true,
+		Assign:    []int32{0, 1, 2, 3, 3, 2, 1, 0},
+	}
+	for i := range m.GraphHash {
+		m.GraphHash[i] = byte(i * 3)
+	}
+	return m
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := map[string]*Message{
+		"full":       sampleMessage(),
+		"empty-slot": {K: 0, Island: 3, Worker: 0, Round: 12, Key: "k"},
+		"no-key": {
+			K: 2, Objective: math.Inf(1), Has: true, Assign: []int32{0, 1},
+		},
+		"single-vertex": {K: 1, Objective: -0.5, Round: math.MaxUint64, Has: true, Assign: []int32{0}},
+	}
+	for name, m := range cases {
+		t.Run(name, func(t *testing.T) {
+			buf := m.Encode()
+			if len(buf) != m.EncodedLen() {
+				t.Fatalf("EncodedLen = %d, Encode produced %d bytes", m.EncodedLen(), len(buf))
+			}
+			got, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip changed the message:\n got %+v\nwant %+v", got, m)
+			}
+			// Canonical encoding: re-encoding the decoded message must
+			// reproduce the bytes exactly.
+			if !bytes.Equal(got.Encode(), buf) {
+				t.Fatal("re-encode is not byte-identical")
+			}
+		})
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid := sampleMessage().Encode()
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": valid[:headerLen-1],
+		"bad magic": mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"future version": mutate(func(b []byte) []byte {
+			b[4] = Version + 1
+			return b
+		}),
+		"bad has flag": mutate(func(b []byte) []byte { b[5] = 9; return b }),
+		"trailing garbage": mutate(func(b []byte) []byte {
+			return append(b, 0xFF)
+		}),
+		"label out of range": mutate(func(b []byte) []byte {
+			b[len(b)-4] = 0xEE // last label becomes huge
+			b[len(b)-1] = 0x7F
+			return b
+		}),
+		"negative label": mutate(func(b []byte) []byte {
+			for i := 1; i <= 4; i++ {
+				b[len(b)-i] = 0xFF
+			}
+			return b
+		}),
+		"body shorter than count": valid[:len(valid)-4],
+		"nan objective": mutate(func(b []byte) []byte {
+			nan := math.Float64bits(math.NaN())
+			for i := 0; i < 8; i++ {
+				b[26+i] = byte(nan >> (8 * i))
+			}
+			return b
+		}),
+	}
+	for name, buf := range cases {
+		if m, err := Decode(buf); err == nil {
+			t.Errorf("%s: decoded to %+v, want error", name, m)
+		}
+	}
+}
+
+func TestDecodeRejectsOversizeClaims(t *testing.T) {
+	// A header that claims 2^31 labels must be rejected by the length check
+	// before any allocation happens; the buffer itself stays tiny.
+	m := &Message{K: 2, Has: true, Assign: []int32{0, 1}}
+	buf := m.Encode()
+	buf[headerLen-4] = 0xFF // n field (no key): claim an enormous count
+	buf[headerLen-3] = 0xFF
+	buf[headerLen-2] = 0xFF
+	buf[headerLen-1] = 0x7F
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("oversize label count decoded")
+	} else if !strings.Contains(err.Error(), "exceeds") && !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// FuzzWireDecode drives Decode with arbitrary bytes: it must never panic or
+// over-allocate, and whatever it accepts must re-encode to the identical
+// bytes (the canonical-encoding invariant the exchange protocol relies on).
+func FuzzWireDecode(f *testing.F) {
+	f.Add(sampleMessage().Encode())
+	f.Add((&Message{K: 0, Round: 3, Key: "x"}).Encode())
+	f.Add((&Message{K: 3, Objective: 2.5, Has: true, Assign: []int32{2, 0, 1}}).Encode())
+	f.Add([]byte("FFWP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(m.Assign) > MaxVertices || len(m.Key) > MaxKeyLen {
+			t.Fatalf("decoder accepted oversize fields: n=%d key=%d", len(m.Assign), len(m.Key))
+		}
+		for i, a := range m.Assign {
+			if a < 0 || a >= m.K {
+				t.Fatalf("accepted label %d at %d outside [0,%d)", a, i, m.K)
+			}
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Fatalf("accepted message is not canonical: %q", data)
+		}
+	})
+}
