@@ -45,6 +45,8 @@ func main() {
 		scale   = fs.String("scale", "paper", "instance scale: paper (762 sectors) or small (180)")
 		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		upload  = fs.String("upload", "", "store: also upload the bench instance to this ffserve URL and time remote admission")
+		graphID = fs.String("graph-id", "", "store: reuse this stored-graph id on the -upload server instead of uploading")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
@@ -89,6 +91,13 @@ func main() {
 	// the proposal loop is flat (no frame outside scoring above 20%).
 	if cmd == "anneal" {
 		runAnnealSteps(*k, *seed, *budget)
+		return
+	}
+
+	// The store probe runs on the BENCH_store.json instance so its admission
+	// ratios are directly comparable to the committed baseline.
+	if cmd == "store" {
+		runStoreBench(*seed, *upload, *graphID)
 		return
 	}
 
@@ -251,14 +260,16 @@ func rejectMultilevel(cmd string, multi bool, coarse int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance|anneal> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance|anneal|store> [flags]
   table1   reproduce the paper's Table 1 (17 methods x 3 objectives)
   figure1  reproduce the paper's Figure 1 (anytime Mcut traces)
   ablation quantify fusion-fission design choices
   variance metaheuristic spread over 8 seeds (parallel runs)
   anneal   time the SA proposal loop on the BENCH_anneal.json instance
+  store    time graph admission (METIS parse vs binary CSR vs graph store)
 flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
        -multilevel -coarsen-to N   (table1 and variance only)
+       -upload URL -graph-id ID    (store only: remote admission timing)
        -cpuprofile FILE -memprofile FILE   (pprof profiles of the run)`)
 	os.Exit(2)
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	ff "repro"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// runStoreBench times graph admission on the BENCH_store.json instance: the
+// inline path (METIS text parse + CSR build) against the stored-graph path
+// (binary decode, and the store's memory tier the server actually serves
+// from). With -upload it also exercises a live ffserve end to end: upload
+// the instance, then compare inline submission latency against
+// submission by stored id.
+func runStoreBench(seed int64, uploadURL, graphID string) {
+	g := graph.RandomGeometric(10_000, 0.02, 1)
+	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	var metis strings.Builder
+	if err := ff.WriteMETIS(&metis, g); err != nil {
+		fatal(err)
+	}
+	bin := graph.EncodeBinary(g)
+	fmt.Printf("encodings:  METIS text %d bytes, binary CSR %d bytes\n", metis.Len(), len(bin))
+
+	const reps = 7
+	parse := bestOf(reps, func() {
+		if _, err := ff.ReadMETIS(strings.NewReader(metis.String())); err != nil {
+			fatal(err)
+		}
+	})
+	decode := bestOf(reps, func() {
+		if _, err := graph.DecodeBinary(bin); err != nil {
+			fatal(err)
+		}
+	})
+
+	dir, err := os.MkdirTemp("", "ffbench-store-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	id, _, err := st.Put(g)
+	if err != nil {
+		fatal(err)
+	}
+	memGet := bestOf(reps, func() {
+		if _, ok := st.Get(id); !ok {
+			fatal(fmt.Errorf("stored graph vanished"))
+		}
+	})
+	diskOpen := bestOf(reps, func() {
+		if _, err := graph.OpenBinary(filepath.Join(dir, id+".ffg")); err != nil {
+			fatal(err)
+		}
+	})
+
+	fmt.Printf("admission:  METIS parse+build   %12s\n", parse)
+	fmt.Printf("            binary decode       %12s   (%.1fx faster)\n", decode, ratio(parse, decode))
+	fmt.Printf("            disk reload         %12s   (%.1fx faster)\n", diskOpen, ratio(parse, diskOpen))
+	fmt.Printf("            store memory hit    %12s   (%.0fx faster)\n", memGet, ratio(parse, memGet))
+	fmt.Printf("stored id:  %s\n", id)
+
+	if uploadURL != "" {
+		remoteStoreBench(uploadURL, graphID, g, metis.String(), seed)
+	}
+}
+
+// bestOf runs f reps times and returns the fastest wall-clock duration.
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func ratio(slow, fast time.Duration) float64 {
+	if fast <= 0 {
+		return 0
+	}
+	return float64(slow) / float64(fast)
+}
+
+// remoteStoreBench uploads the instance to a running ffserve and compares
+// submit-to-result latency for inline METIS vs stored-graph-id submission
+// of a cheap deterministic job (the solver cost is identical, so the delta
+// is pure admission).
+func remoteStoreBench(url, graphID string, g *graph.Graph, metis string, seed int64) {
+	base := strings.TrimRight(url, "/")
+	id := graphID
+	if id == "" {
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/graphs", bytes.NewReader(graph.EncodeBinary(g)))
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		var up struct {
+			ID    string `json:"id"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&up)
+		resp.Body.Close()
+		if err != nil || up.Error != "" || up.ID == "" {
+			fatal(fmt.Errorf("upload to %s failed: %v %s", base, err, up.Error))
+		}
+		id = up.ID
+		fmt.Printf("\nuploaded to %s as %s\n", base, id)
+	}
+
+	submit := func(body map[string]any) time.Duration {
+		return bestOf(5, func() {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				fatal(err)
+			}
+			resp, err := http.Post(base+"/v1/partition", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				fatal(err)
+			}
+			var out struct {
+				Error string `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil || out.Error != "" {
+				fatal(fmt.Errorf("remote job failed: %v %s", err, out.Error))
+			}
+		})
+	}
+	// linear-bi is deterministic and near-free, so the measured latency is
+	// transport + admission, not search.
+	opts := map[string]any{"k": 2, "method": "linear-bi", "seed": seed, "no_cache": true}
+	inline := map[string]any{"graph": map[string]any{"metis": metis}}
+	byID := map[string]any{"graph": map[string]any{"id": id}}
+	for k, v := range opts {
+		inline[k] = v
+		byID[k] = v
+	}
+	tInline := submit(inline)
+	tByID := submit(byID)
+	fmt.Printf("remote:     inline METIS job    %12s\n", tInline)
+	fmt.Printf("            stored-id job       %12s   (%.1fx faster)\n", tByID, ratio(tInline, tByID))
+}

@@ -30,23 +30,31 @@ type islandResponse struct {
 	Error  string     `json:"error"`
 }
 
-// runIslands fans the job out to every ffserve URL as a federated request
-// and reduces the replies with the same deterministic comparison the
-// islands themselves use, so the client-side winner agrees with the
-// fleet-side one. Returns the winning result for printing/writing.
-func runIslands(urls []string, g *ff.Graph, opt ff.Options, timeout time.Duration) (*ff.Result, []islandOutcome, error) {
+// requestSpec builds the wire GraphSpec: the stored-graph id when given,
+// otherwise the local graph serialized as METIS text.
+func requestSpec(g *ff.Graph, graphID string) (server.GraphSpec, error) {
+	if graphID != "" {
+		return server.GraphSpec{ID: graphID}, nil
+	}
 	var metis strings.Builder
 	if err := ff.WriteMETIS(&metis, g); err != nil {
-		return nil, nil, fmt.Errorf("serializing graph: %w", err)
+		return server.GraphSpec{}, fmt.Errorf("serializing graph: %w", err)
 	}
+	return server.GraphSpec{METIS: metis.String()}, nil
+}
+
+// buildRequest assembles the PartitionRequest shared by the single-server
+// and federated paths.
+func buildRequest(spec server.GraphSpec, opt ff.Options, timeout time.Duration, federate bool) ([]byte, error) {
 	req := server.PartitionRequest{
-		Graph:     server.GraphSpec{METIS: metis.String()},
+		Graph:     spec,
 		K:         opt.K,
 		Method:    opt.Method,
 		Objective: opt.Objective,
 		Seed:      opt.Seed,
 		MaxSteps:  opt.MaxSteps,
-		Federate:  true,
+		WarmStart: opt.WarmStart,
+		Federate:  federate,
 	}
 	if opt.Budget > 0 {
 		req.Budget = opt.Budget.String()
@@ -61,7 +69,24 @@ func runIslands(urls []string, g *ff.Graph, opt ff.Options, timeout time.Duratio
 	if timeout > 0 {
 		req.Timeout = timeout.String()
 	}
-	body, err := json.Marshal(req)
+	return json.Marshal(req)
+}
+
+// runRemote submits one non-federated job to a single ffserve.
+func runRemote(url string, spec server.GraphSpec, opt ff.Options, timeout time.Duration) (*ff.Result, error) {
+	body, err := buildRequest(spec, opt, timeout, false)
+	if err != nil {
+		return nil, err
+	}
+	return askIsland(url, body, timeout)
+}
+
+// runIslands fans the job out to every ffserve URL as a federated request
+// and reduces the replies with the same deterministic comparison the
+// islands themselves use, so the client-side winner agrees with the
+// fleet-side one. Returns the winning result for printing/writing.
+func runIslands(urls []string, spec server.GraphSpec, opt ff.Options, timeout time.Duration) (*ff.Result, []islandOutcome, error) {
+	body, err := buildRequest(spec, opt, timeout, true)
 	if err != nil {
 		return nil, nil, err
 	}

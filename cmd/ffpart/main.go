@@ -11,6 +11,18 @@
 //
 // The output file holds one part id per line, vertex order. With -out
 // omitted, only the summary is printed.
+//
+// Against a running ffserve, the graph store replaces inline submission:
+//
+//	ffpart -gen geometric:10000:0.02 -upload -server http://localhost:8080
+//	ffpart -graph-id ID -server http://localhost:8080 -k 32
+//	ffpart -graph-id ID -islands http://h1:8080,http://h2:8080 -k 32
+//	ffpart -graph-id ID -server URL -k 32 -warm-start parts.txt
+//
+// -upload stores the graph and prints its content id; partition requests by
+// -graph-id never re-ship the graph. -warm-start seeds the solve with a
+// previous partition file (as written by -out) — the incremental
+// repartitioning path after POST /v1/graphs/{id}/mutate.
 package main
 
 import (
@@ -44,6 +56,10 @@ func main() {
 		list      = flag.Bool("list", false, "list available methods and exit")
 		islands   = flag.String("islands", "", "comma-separated ffserve URLs: fan the job out as a federated island run instead of solving locally")
 		timeout   = flag.Duration("timeout", 0, "per-island job timeout for -islands (0 = server default)")
+		serverURL = flag.String("server", "", "ffserve URL: run the job on one server instead of solving locally")
+		graphID   = flag.String("graph-id", "", "partition a stored graph by content id (needs -server or -islands)")
+		upload    = flag.Bool("upload", false, "upload the input graph to -server's store, print its content id, and exit")
+		warmFile  = flag.String("warm-start", "", "seed the solve with a partition file (one part id per line, as written by -out); metaheuristics only")
 	)
 	flag.Parse()
 
@@ -54,10 +70,40 @@ func main() {
 		return
 	}
 
-	g, err := loadGraph(*graphPath, *gen, *seed)
-	if err != nil {
-		fatal(err)
+	var g *ff.Graph
+	var err error
+	if *graphID != "" {
+		if *graphPath != "" || *gen != "" {
+			fatal(fmt.Errorf("use either -graph/-gen or -graph-id, not both"))
+		}
+		if *serverURL == "" && *islands == "" {
+			fatal(fmt.Errorf("-graph-id names a server-side graph; pass -server or -islands"))
+		}
+	} else {
+		g, err = loadGraph(*graphPath, *gen, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
+
+	if *upload {
+		if *serverURL == "" {
+			fatal(fmt.Errorf("-upload needs -server"))
+		}
+		if g == nil {
+			fatal(fmt.Errorf("-upload needs a local graph (-graph or -gen)"))
+		}
+		up, err := uploadGraph(*serverURL, g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("uploaded: %d vertices, %d edges\nid: %s\n", up.N, up.M, up.ID)
+		if !up.Created {
+			fmt.Println("(deduplicated: the store already held this graph)")
+		}
+		return
+	}
+
 	parallelism := *par
 	if parallelism == 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -68,26 +114,45 @@ func main() {
 		Parallelism: parallelism,
 		Multilevel:  *multi, CoarsenTo: *coarsenTo,
 	}
+	if *warmFile != "" {
+		warm, err := readPartition(*warmFile)
+		if err != nil {
+			fatal(err)
+		}
+		opt.WarmStart = warm
+	}
+
+	spec, err := requestSpec(g, *graphID)
+	if err != nil {
+		fatal(err)
+	}
 
 	var res *ff.Result
 	var outcomes []islandOutcome
-	if *islands != "" {
+	switch {
+	case *islands != "":
 		var urls []string
 		for _, u := range strings.Split(*islands, ",") {
 			if u = strings.TrimSpace(u); u != "" {
 				urls = append(urls, u)
 			}
 		}
-		res, outcomes, err = runIslands(urls, g, opt, *timeout)
-	} else {
+		res, outcomes, err = runIslands(urls, spec, opt, *timeout)
+	case *serverURL != "":
+		res, err = runRemote(*serverURL, spec, opt, *timeout)
+	default:
 		res, err = ff.Partition(g, opt)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("graph:      %d vertices, %d edges (total weight %.0f)\n",
-		g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight())
+	if g != nil {
+		fmt.Printf("graph:      %d vertices, %d edges (total weight %.0f)\n",
+			g.NumVertices(), g.NumEdges(), g.TotalEdgeWeight())
+	} else {
+		fmt.Printf("graph:      stored id %s\n", *graphID)
+	}
 	fmt.Printf("method:     %s (objective %s, seed %d, %d worker(s))\n", res.Method, *obj, *seed, res.Workers)
 	fmt.Printf("parts:      %d\n", res.NumParts)
 	fmt.Printf("Cut:        %.1f   (paper convention; edge cut = %.1f)\n", res.Cut, res.Cut/2)
@@ -95,6 +160,9 @@ func main() {
 	fmt.Printf("Mcut:       %.4f\n", res.Mcut)
 	fmt.Printf("imbalance:  %.2f%%\n", res.Imbalance*100)
 	fmt.Printf("elapsed:    %s\n", res.Elapsed.Round(time.Millisecond))
+	if res.WarmStart {
+		fmt.Println("warm-start: seeded and repaired from the previous assignment")
+	}
 	if h := res.Hierarchy; h != nil {
 		fmt.Printf("hierarchy:  %d levels, coarsest %d vertices / %d edges %v\n",
 			h.Levels, h.CoarsestVertices, h.CoarsestEdges, h.VertexCounts)
@@ -189,6 +257,36 @@ func generate(spec string, seed int64) (*ff.Graph, error) {
 		return graph.GNP(n, p, seed), nil
 	}
 	return nil, fmt.Errorf("unknown generator %q", parts[0])
+}
+
+// readPartition reads a warm-start seed in the -out format: one part id per
+// line, vertex order.
+func readPartition(path string) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var parts []int32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		p, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %v", path, len(parts)+1, err)
+		}
+		parts = append(parts, int32(p))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%s: empty partition file", path)
+	}
+	return parts, nil
 }
 
 func fatal(err error) {

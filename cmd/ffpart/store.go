@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	ff "repro"
+	"repro/internal/graph"
+)
+
+// uploadReply mirrors the server's graph-upload response (the full type is
+// unexported in the server package).
+type uploadReply struct {
+	ID      string `json:"id"`
+	Created bool   `json:"created"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Error   string `json:"error"`
+}
+
+// uploadGraph PUTs the graph to the server's store in binary CSR form — the
+// same zero-parse encoding the store spills to disk, so the server admits
+// it without ever touching a text parser.
+func uploadGraph(url string, g *ff.Graph) (*uploadReply, error) {
+	req, err := http.NewRequest(http.MethodPut,
+		strings.TrimRight(url, "/")+"/v1/graphs", bytes.NewReader(graph.EncodeBinary(g)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out uploadReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bad response (%s): %w", resp.Status, err)
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s: %s", resp.Status, out.Error)
+	}
+	if out.ID == "" {
+		return nil, fmt.Errorf("%s: no id in upload response", resp.Status)
+	}
+	return &out, nil
+}

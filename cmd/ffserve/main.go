@@ -6,11 +6,19 @@
 //
 // Endpoints:
 //
-//	POST   /v1/partition   partition an inline graph (METIS text or edge list)
-//	GET    /v1/jobs/{id}   poll an asynchronous job
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /v1/methods     list methods and objectives
-//	GET    /healthz        liveness and statistics
+//	POST   /v1/partition           partition a graph (inline or by stored id)
+//	GET    /v1/jobs/{id}           poll an asynchronous job
+//	DELETE /v1/jobs/{id}           cancel a job
+//	PUT    /v1/graphs              upload a graph, get its content id
+//	GET    /v1/graphs/{id}         stored-graph metadata
+//	DELETE /v1/graphs/{id}         drop a stored graph
+//	POST   /v1/graphs/{id}/mutate  derive a new graph by edge edits
+//	GET    /v1/methods             list methods and objectives
+//	GET    /healthz                liveness and statistics
+//
+// With -store-dir the graph store spills to disk: uploads survive restarts
+// and memory eviction, and warm-started repartitions of mutated graphs skip
+// re-uploading entirely.
 //
 // With -island-id and -peers the instance joins a federated fleet: requests
 // carrying "federate": true exchange incumbents with the peer instances over
@@ -55,6 +63,8 @@ func main() {
 		islandID  = flag.Int("island-id", 0, "this instance's id in a federated fleet (unique per island)")
 		peers     = flag.String("peers", "", "comma-separated base URLs of the other islands (enables federation)")
 		exchWait  = flag.Duration("exchange-wait", 30*time.Second, "long-poll cap for a peer's candidate per exchange round")
+		storeDir  = flag.String("store-dir", "", "graph-store spill directory (empty = memory-only store)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "graph-store memory-tier bound in encoded bytes (0 = 256 MiB)")
 	)
 	flag.Parse()
 
@@ -71,7 +81,7 @@ func main() {
 		fatal(errors.New("-island-id set but no -peers; a fleet needs both"))
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
@@ -82,7 +92,12 @@ func main() {
 		IslandID:       *islandID,
 		Peers:          peerList,
 		ExchangeWait:   *exchWait,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
+	"repro/internal/refine"
 	"repro/internal/vcycle"
 )
 
@@ -220,6 +221,17 @@ type Options struct {
 	// K; the cutoff is clamped to at least 2K. Meaningful only with
 	// Multilevel (cleared otherwise during normalization).
 	CoarsenTo int `json:"coarsen_to,omitempty"`
+	// WarmStart optionally seeds the solve with a previous assignment (one
+	// part id in [0, K) per vertex, length NumVertices) — the incremental
+	// repartitioning path for drifting graphs: the assignment is first
+	// repaired locally with refine.KWay (charged against Budget), every
+	// solver worker starts from the repaired seed instead of cold
+	// initialization, and the final result is guaranteed no worse than the
+	// repaired seed under the target objective. Metaheuristics only, and
+	// incompatible with Multilevel (cleared during normalization): the
+	// V-cycle solves the coarsest graph, where a fine assignment is
+	// meaningless.
+	WarmStart []int32 `json:"warm_start,omitempty"`
 	// Island is this process's island index in a federated fleet (0-based).
 	// It offsets worker-seed derivation by Island*Parallelism — so islands
 	// sharing a base seed search disjoint random streams — and breaks
@@ -294,11 +306,19 @@ func (o Options) normalized() (Options, string, objective.Objective, error) {
 		// keys. Same story for the V-cycle flags on methods that don't run
 		// inside the driver.
 		if !spec.Metaheuristic {
+			if len(o.WarmStart) > 0 {
+				return o, "", 0, fmt.Errorf("fusionfission: method %q is deterministic and cannot be warm-started", o.Method)
+			}
 			o.Parallelism = 1
 		}
 		if !spec.Multilevel {
 			o.Multilevel = false
 		}
+	}
+	if len(o.WarmStart) > 0 {
+		// A warm seed replaces the V-cycle: the whole point is to repair the
+		// previous fine-graph cut in place, not to re-coarsen from scratch.
+		o.Multilevel = false
 	}
 	if !o.Multilevel {
 		o.CoarsenTo = 0
@@ -356,6 +376,10 @@ type Result struct {
 	// (Options.Exchange set) or explicitly placed (Options.Island > 0);
 	// absent for plain single-process runs.
 	Island *int `json:"island,omitempty"`
+	// WarmStart reports that the solve was seeded from a previous assignment
+	// (Options.WarmStart): the result is never worse than the repaired seed
+	// under the target objective.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // HierarchyStats is the shape of a multilevel run's coarsening hierarchy,
@@ -434,16 +458,43 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 		mon = NewMonitor()
 	}
 	start := time.Now()
+	// A warm start is repaired before the solve: refine.KWay moves boundary
+	// vertices until the seed is locally optimal again (it never empties or
+	// creates parts and never worsens the objective), so the solver starts
+	// from a valid, already-good partition instead of the raw drifted
+	// assignment. The repair is wall-clock the caller asked to spend on this
+	// solve, so it is charged against the budget the same way V-cycle
+	// coarsening is.
+	var warmSeed *partition.P
+	var warmAssign []int32
+	if len(opt.WarmStart) > 0 {
+		wp, err := partition.FromAssignment(g, opt.WarmStart, opt.K)
+		if err != nil {
+			return nil, fmt.Errorf("fusionfission: warm start: %w", err)
+		}
+		refine.KWay(wp, refine.KWayOptions{Objective: obj, Ctx: ctx})
+		warmSeed = wp
+		warmAssign = wp.Assignment()
+		if opt.Budget -= time.Since(start); opt.Budget < time.Millisecond {
+			opt.Budget = time.Millisecond
+		}
+	}
 	run, err := spec.Run(ctx, g, opt.K, experiments.RunConfig{
 		Objective: obj, Budget: opt.Budget, MaxSteps: opt.MaxSteps,
 		Seed: opt.Seed, Parallelism: opt.Parallelism,
 		Multilevel: opt.Multilevel, CoarsenTo: opt.CoarsenTo, Monitor: mon,
 		Island: opt.Island, Relay: opt.Exchange,
+		WarmStart: warmAssign,
 	})
 	if err != nil {
 		return nil, err
 	}
 	p, partial := run.P, run.Partial
+	if warmSeed != nil && obj.Evaluate(p) > obj.Evaluate(warmSeed) {
+		// The floor guarantee: a warm-started run never returns worse than
+		// its repaired seed, no matter where the search wandered.
+		p = warmSeed
+	}
 	res := resultFrom(p, opt.Method, time.Since(start))
 	res.Workers = run.Workers
 	res.Hierarchy = run.Hierarchy
@@ -452,6 +503,7 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 		island := opt.Island
 		res.Island = &island
 	}
+	res.WarmStart = warmSeed != nil
 	// partial is the solver's own record of having observed the
 	// cancellation. A run truncated by a deadline-clamped budget is partial
 	// too — it spent the whole clamp without reaching its step cap, and its

@@ -64,6 +64,14 @@ type RunConfig struct {
 	// and every worker receives the fleet-wide winner. Used by the server's
 	// HTTP island transport; nil for single-process runs.
 	Relay engine.Relay
+	// WarmStart optionally seeds a metaheuristic with a previous assignment
+	// (one part id in [0, k) per vertex): every portfolio worker starts from
+	// it instead of cold initialization. The facade repairs the assignment
+	// with refine.KWay before it lands here, so solvers receive a locally
+	// optimal seed. Incompatible with Multilevel (the V-cycle solves the
+	// coarsest graph, where a fine-graph assignment is meaningless) and
+	// ignored by classical methods.
+	WarmStart []int32
 }
 
 // RunResult is one method run's outcome.
@@ -149,8 +157,13 @@ var ExtensionMethods = []MethodSpec{
 	}},
 	{Name: "Genetic algorithm", Metaheuristic: true, Multilevel: true, Run: runGenetic},
 	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
+		init, err := warmInitial(g, cfg, g.NumVertices())
+		if err != nil {
+			return RunResult{}, err
+		}
 		res, err := core.EnsembleContext(ctx, g, k, core.EnsembleOptions{Base: core.Options{
 			Objective: cfg.Objective, Budget: cfg.Budget, MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: cfg.Seed,
+			Initial: init,
 		}})
 		if err != nil {
 			return RunResult{}, err
@@ -208,6 +221,11 @@ type vcSolver func(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, b
 // base seed and shared by every worker, each worker V-cycles independently
 // from its derived seed, and incumbents are exchanged at level boundaries.
 func runVCycle(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, solve vcSolver) (RunResult, error) {
+	if cfg.WarmStart != nil {
+		// The V-cycle's solver runs on the coarsest graph, where a
+		// fine-graph assignment is meaningless; callers must choose.
+		return RunResult{}, fmt.Errorf("experiments: warm start is incompatible with multilevel")
+	}
 	buildStart := time.Now()
 	h, err := vcycle.Build(ctx, g, cfg.CoarsenTo, k, cfg.Seed)
 	if err != nil {
@@ -288,9 +306,14 @@ func runAnneal(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunRe
 }
 
 func annealSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*anneal.Result, error) {
+	init, err := warmInitial(g, cfg, k)
+	if err != nil {
+		return nil, err
+	}
 	return anneal.PartitionContext(ctx, g, k, anneal.Options{
 		Objective: cfg.Objective, Budget: budget,
 		MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+		Initial: init,
 	})
 }
 
@@ -319,9 +342,14 @@ func runAntColony(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (Ru
 }
 
 func antColonySolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*antcolony.Result, error) {
+	init, err := warmInitial(g, cfg, k)
+	if err != nil {
+		return nil, err
+	}
 	return antcolony.PartitionContext(ctx, g, k, antcolony.Options{
 		Objective: cfg.Objective, Budget: budget,
 		Iterations: stepsOr(cfg.MaxSteps, 1_000_000), Seed: seed, Runtime: rt,
+		Initial: init,
 	})
 }
 
@@ -349,9 +377,15 @@ func runFusionFission(ctx context.Context, g *graph.Graph, k int, cfg RunConfig)
 }
 
 func fusionFissionSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*core.Result, error) {
+	// Fusion-fission needs a part slot per vertex so atoms can split freely.
+	init, err := warmInitial(g, cfg, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
 	return core.PartitionContext(ctx, g, k, core.Options{
 		Objective: cfg.Objective, Budget: budget,
 		MaxSteps: stepsOr(cfg.MaxSteps, 2_000_000), Seed: seed, Runtime: rt,
+		Initial: init,
 	})
 }
 
@@ -380,9 +414,14 @@ func runGenetic(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunR
 }
 
 func geneticSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, budget time.Duration, seed int64, rt *engine.Runtime) (*genetic.Result, error) {
+	init, err := warmInitial(g, cfg, k)
+	if err != nil {
+		return nil, err
+	}
 	return genetic.PartitionContext(ctx, g, k, genetic.Options{
 		Objective: cfg.Objective, Budget: budget,
 		Generations: stepsOr(cfg.MaxSteps, 100_000), Seed: seed, Runtime: rt,
+		Initial: init,
 	})
 }
 
@@ -392,6 +431,22 @@ func geneticSolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConfig, bu
 		return nil, false, err
 	}
 	return res.Best, res.Cancelled, nil
+}
+
+// warmInitial materializes cfg.WarmStart as a starting partition for the
+// graph being solved, with the part-slot capacity the solver requires
+// (fusion-fission needs n slots so atoms can split freely; the others want
+// exactly k to keep their per-part scans tight). nil when no warm start is
+// present.
+func warmInitial(g *graph.Graph, cfg RunConfig, capacity int) (*partition.P, error) {
+	if cfg.WarmStart == nil {
+		return nil, nil
+	}
+	p, err := partition.FromAssignment(g, cfg.WarmStart, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: warm start: %w", err)
+	}
+	return p, nil
 }
 
 func stepsOr(steps, def int) int {

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBinaryGraphDecode asserts the binary decoder's contract on arbitrary
+// bytes: it either returns a valid graph or an error — never a panic, never
+// an out-of-bounds access, never an attacker-sized allocation — and any
+// graph it accepts must re-encode byte-identically (the format is
+// canonical, so acceptance implies the input was a genuine encoding).
+func FuzzBinaryGraphDecode(f *testing.F) {
+	valid := EncodeBinary(Grid2D(3, 3))
+	withLoops := EncodeBinary(loopy())
+	seeds := [][]byte{
+		nil,                       // empty
+		valid,                     // a genuine encoding
+		withLoops,                 // loop section present
+		valid[:binaryHeaderLen/2], // truncated header
+		valid[:binaryHeaderLen],   // header only, body missing
+		valid[:len(valid)-3],      // truncated body
+		append(append([]byte(nil), valid...), 1, 2, 3), // trailing bytes
+		corrupt(valid, 0, 'Z'),                         // bad magic
+		corrupt(valid, 4, 0),                           // version 0
+		corrupt(valid, 4, 2),                           // version from the future
+		corrupt(valid, 5, 0xff),                        // unknown flags
+		corrupt(valid, 16, valid[16]^1),                // digest mismatch
+	}
+	// xadj out of monotone order.
+	nonMono := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(nonMono[binaryHeaderLen+4:], 0xfffffff0)
+	seeds = append(seeds, nonMono)
+	// Counts far beyond the buffer: must fail fast without allocating.
+	huge := append([]byte(nil), valid[:binaryHeaderLen]...)
+	binary.LittleEndian.PutUint32(huge[8:], 0x7fffffff)
+	binary.LittleEndian.PutUint32(huge[12:], 0x3fffffff)
+	seeds = append(seeds, huge)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeBinary(data)
+		if err != nil {
+			if g != nil {
+				t.Fatal("DecodeBinary returned both a graph and an error")
+			}
+			return
+		}
+		if !bytes.Equal(EncodeBinary(g), data) {
+			t.Fatal("accepted input is not the canonical encoding of the decoded graph")
+		}
+		// Spot-check internal consistency the way the METIS fuzzer does.
+		n := g.NumVertices()
+		for v := 0; v < n; v++ {
+			for i, u := range g.Neighbors(v) {
+				if int(u) < 0 || int(u) >= n || int(u) == v {
+					t.Fatalf("vertex %d: bad neighbor %d", v, u)
+				}
+				if w, ok := g.EdgeWeight(int(u), v); !ok || w != g.Weights(v)[i] {
+					t.Fatalf("edge {%d,%d} not symmetric", v, u)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "testing"
+
+func TestWithEdits(t *testing.T) {
+	g := Grid2D(3, 3)
+	g2, err := g.WithEdits([]EdgeEdit{
+		{Op: "add", U: 0, V: 8, W: 2},
+		{Op: "remove", U: 0, V: 1},
+		{Op: "reweight", U: 3, V: 4, W: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("add+remove should keep edge count: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	if w, ok := g2.EdgeWeight(0, 8); !ok || w != 2 {
+		t.Fatalf("added edge {0,8}: weight %g, present %v", w, ok)
+	}
+	if _, ok := g2.EdgeWeight(0, 1); ok {
+		t.Fatal("removed edge {0,1} still present")
+	}
+	if w, _ := g2.EdgeWeight(3, 4); w != 5 {
+		t.Fatalf("reweighted edge {3,4}: weight %g", w)
+	}
+	// The original is untouched.
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 1 {
+		t.Fatal("WithEdits modified the receiver")
+	}
+	// Content addressing: the derived graph has a different digest, and the
+	// same edits applied again land on the same digest.
+	if Digest(g2) == Digest(g) {
+		t.Fatal("edits did not change the digest")
+	}
+	g3, err := g.WithEdits([]EdgeEdit{
+		{Op: "remove", U: 0, V: 1},
+		{Op: "reweight", U: 3, V: 4, W: 5},
+		{Op: "add", U: 0, V: 8, W: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(g3) != Digest(g2) {
+		t.Fatal("same edit set in a different order produced a different digest")
+	}
+}
+
+func TestWithEditsSequencing(t *testing.T) {
+	g := Path(4)
+	// remove then re-add is a legal replace.
+	g2, err := g.WithEdits([]EdgeEdit{
+		{Op: "remove", U: 1, V: 2},
+		{Op: "add", U: 1, V: 2, W: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g2.EdgeWeight(1, 2); w != 9 {
+		t.Fatalf("replace left weight %g", w)
+	}
+	// add then reweight of the new edge applies in order.
+	g3, err := g.WithEdits([]EdgeEdit{
+		{Op: "add", U: 0, V: 3},
+		{Op: "reweight", U: 0, V: 3, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g3.EdgeWeight(0, 3); w != 4 {
+		t.Fatalf("add+reweight left weight %g", w)
+	}
+	// Default weight is 1.
+	g4, err := g.WithEdits([]EdgeEdit{{Op: "add", U: 0, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g4.EdgeWeight(0, 2); w != 1 {
+		t.Fatalf("default add weight %g", w)
+	}
+}
+
+func TestWithEditsPreservesWeightsAndLoops(t *testing.T) {
+	g := loopy()
+	g2, err := g.WithEdits([]EdgeEdit{{Op: "remove", U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g2.VertexWeight(v) != g.VertexWeight(v) {
+			t.Fatalf("vertex %d weight changed", v)
+		}
+		if g2.VertexLoop(v) != g.VertexLoop(v) {
+			t.Fatalf("vertex %d self-loop changed", v)
+		}
+	}
+}
+
+func TestWithEditsRejects(t *testing.T) {
+	g := Path(4)
+	cases := map[string][]EdgeEdit{
+		"add existing":        {{Op: "add", U: 0, V: 1}},
+		"remove missing":      {{Op: "remove", U: 0, V: 2}},
+		"reweight missing":    {{Op: "reweight", U: 0, V: 2, W: 2}},
+		"unknown op":          {{Op: "sever", U: 0, V: 1}},
+		"self-loop":           {{Op: "add", U: 2, V: 2}},
+		"out of range":        {{Op: "add", U: 0, V: 9}},
+		"negative weight":     {{Op: "add", U: 0, V: 2, W: -1}},
+		"double add":          {{Op: "add", U: 0, V: 2}, {Op: "add", U: 0, V: 2}},
+		"remove then remove":  {{Op: "remove", U: 0, V: 1}, {Op: "remove", U: 0, V: 1}},
+		"reweight of removed": {{Op: "remove", U: 0, V: 1}, {Op: "reweight", U: 0, V: 1, W: 2}},
+	}
+	for name, edits := range cases {
+		if _, err := g.WithEdits(edits); err == nil {
+			t.Errorf("%s: WithEdits accepted bad edits", name)
+		}
+	}
+}

@@ -78,7 +78,10 @@ func TestCancelledJobFreesWorkerSlot(t *testing.T) {
 func TestCancelledJobLeaksNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	s := New(Config{Workers: 2, QueueDepth: 8, CacheSize: -1})
+	s, err := New(Config{Workers: 2, QueueDepth: 8, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	g, err := decodeGraph(ring(64))
 	if err != nil {
 		t.Fatal(err)

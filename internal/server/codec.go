@@ -64,11 +64,23 @@ type PartitionRequest struct {
 	// points, and the result reports the island id and exchange round
 	// count. Requires a server started with peers (400 otherwise). Submit
 	// the identical request to every fleet member — the jobs pair up by
-	// graph content and options. Federated jobs bypass the result cache.
+	// graph content and options; with graph.id they pair by stored graph
+	// id, with no inline graph bytes on the wire at all. Federated jobs
+	// bypass the result cache.
 	Federate bool `json:"federate,omitempty"`
+
+	// WarmStart seeds the solve with a previous assignment (one part id in
+	// [0, k) per vertex) — the incremental-repartitioning path: the server
+	// repairs the assignment locally and the solver starts from it instead
+	// of solving cold, and the result is never worse than the repaired
+	// seed. Metaheuristics only. Typically combined with graph.id after a
+	// POST /v1/graphs/{id}/mutate.
+	WarmStart []int32 `json:"warm_start,omitempty"`
 }
 
-// GraphSpec carries an inline graph in one of two encodings.
+// GraphSpec names the graph to partition in one of three ways: inline
+// METIS text, an inline edge list, or the id of a graph previously uploaded
+// to PUT /v1/graphs. Exactly one variant must be present.
 type GraphSpec struct {
 	// METIS is the graph in METIS/Chaco text format.
 	METIS string `json:"metis,omitempty"`
@@ -79,6 +91,12 @@ type GraphSpec struct {
 	Edges [][]float64 `json:"edges,omitempty"`
 	// VertexWeights optionally assigns per-vertex weights (length N).
 	VertexWeights []float64 `json:"vertex_weights,omitempty"`
+	// ID references a stored graph by its content id (the digest returned
+	// by PUT /v1/graphs). Stored-graph jobs skip the parse and build
+	// entirely — the id *is* the content hash, so the result cache and
+	// island exchange keys come for free, with no rehash. Unknown or
+	// evicted ids answer 404.
+	ID string `json:"id,omitempty"`
 }
 
 // badRequestError marks client errors that map to HTTP 400.
@@ -90,11 +108,24 @@ func badRequestf(format string, args ...any) error {
 	return &badRequestError{fmt.Sprintf(format, args...)}
 }
 
-// decodeGraph materializes the request's graph.
+// notFoundError marks references to absent resources that map to HTTP 404 —
+// an unknown or evicted graph id, most importantly.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+func notFoundf(format string, args ...any) error {
+	return &notFoundError{fmt.Sprintf(format, args...)}
+}
+
+// decodeGraph materializes the request's inline graph (spec.ID resolution
+// happens in the server, which owns the store).
 func decodeGraph(spec GraphSpec) (*graph.Graph, error) {
 	hasMETIS := spec.METIS != ""
 	hasEdges := spec.N != 0 || len(spec.Edges) != 0 || len(spec.VertexWeights) != 0
 	switch {
+	case spec.ID != "" && (hasMETIS || hasEdges):
+		return nil, badRequestf("graph: give a stored-graph id or inline content, not both")
 	case hasMETIS && hasEdges:
 		return nil, badRequestf("graph: give either metis text or an edge list, not both")
 	case hasMETIS:
@@ -106,7 +137,7 @@ func decodeGraph(spec GraphSpec) (*graph.Graph, error) {
 	case hasEdges:
 		return decodeEdgeList(spec)
 	}
-	return nil, badRequestf("graph: missing (want graph.metis or graph.n + graph.edges)")
+	return nil, badRequestf("graph: missing (want graph.id, graph.metis or graph.n + graph.edges)")
 }
 
 func decodeEdgeList(spec GraphSpec) (*graph.Graph, error) {
@@ -164,6 +195,7 @@ func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) 
 		Parallelism: r.Parallelism,
 		Multilevel:  r.Multilevel,
 		CoarsenTo:   r.CoarsenTo,
+		WarmStart:   r.WarmStart,
 	}
 	if maxParallelism > 0 && opt.Parallelism > maxParallelism {
 		opt.Parallelism = maxParallelism
@@ -197,60 +229,43 @@ func (r *PartitionRequest) timeout(def time.Duration) (time.Duration, error) {
 	return d, nil
 }
 
-// graphDigest is graphHash rendered as hex for cache and exchange keys.
-func graphDigest(g *graph.Graph) string {
-	h := graphHash(g)
-	return hex.EncodeToString(h[:])
-}
+// graphDigest is the graph's content id in hex — graph.Digest, shared with
+// the store (where it is the upload id) and the wire codec (where its raw
+// bytes refuse cross-graph candidates). Inline submissions hash once per
+// request; stored-graph submissions never hash at all, the id was verified
+// at upload time.
+func graphDigest(g *graph.Graph) string { return graph.Digest(g) }
 
-// graphHash hashes a graph's full content — vertex count, vertex weights,
-// and the sorted CSR adjacency with edge weights — so that the same graph
-// submitted as METIS text or as an edge list (in any edge order) lands on
-// the same digest. The raw bytes travel in wire messages so islands can
-// refuse cross-graph candidates.
-func graphHash(g *graph.Graph) [sha256.Size]byte {
+// warmTag condenses a request's warm-start assignment for key purposes:
+// jobs seeded from different previous assignments are different
+// computations and must neither collide in the result cache nor pair up as
+// federated partners. "-" for cold runs keeps old keys recognizable.
+func warmTag(opt ff.Options) string {
+	if len(opt.WarmStart) == 0 {
+		return "-"
+	}
 	h := sha256.New()
-	var buf [8]byte
-	writeInt := func(x int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+	var buf [4]byte
+	for _, a := range opt.WarmStart {
+		binary.LittleEndian.PutUint32(buf[:], uint32(a))
 		h.Write(buf[:])
 	}
-	writeFloat := func(f float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-		h.Write(buf[:])
-	}
-	n := g.NumVertices()
-	writeInt(int64(n))
-	writeInt(int64(g.NumEdges()))
-	for v := 0; v < n; v++ {
-		writeFloat(g.VertexWeight(v))
-		nbrs := g.Neighbors(v)
-		wts := g.Weights(v)
-		for i, u := range nbrs {
-			if int(u) < v {
-				continue // count each undirected edge once, from its low endpoint
-			}
-			writeInt(int64(u))
-			writeFloat(wts[i])
-		}
-	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // cacheKey identifies a computation: graph content plus every option that
-// influences the result (the portfolio width changes the winner and the
-// V-cycle flags change the whole search trajectory, so all are part of the
-// key). Options must be normalized — normalization clears Multilevel and
-// CoarsenTo on methods that ignore them, so equivalent requests collide.
+// influences the result (the portfolio width changes the winner, the
+// V-cycle flags change the whole search trajectory, and a warm-start seed
+// changes the starting point, so all are part of the key). Options must be
+// normalized — normalization clears Multilevel and CoarsenTo on methods
+// that ignore them, so equivalent requests collide.
 func cacheKey(digest string, opt ff.Options) string {
 	ml := 0
 	if opt.Multilevel {
 		ml = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo)
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo, warmTag(opt))
 }
 
 // exchangeKey pairs fanned-out federated jobs across islands: the graph
@@ -264,6 +279,6 @@ func exchangeKey(digest string, opt ff.Options) string {
 	if opt.Multilevel {
 		ml = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo)
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo, warmTag(opt))
 }

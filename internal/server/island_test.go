@@ -36,7 +36,7 @@ func newFleet(t *testing.T, wait time.Duration) *fleet {
 		f.urls[i] = "http://" + ln.Addr().String()
 	}
 	for i := range f.servers {
-		s := New(Config{
+		s, err := New(Config{
 			Workers:        2,
 			CacheSize:      -1,
 			MaxParallelism: 2,
@@ -44,6 +44,9 @@ func newFleet(t *testing.T, wait time.Duration) *fleet {
 			Peers:          []string{f.urls[1-i]},
 			ExchangeWait:   wait,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		hs := &http.Server{Handler: s.Handler()}
 		go func(ln net.Listener) { _ = hs.Serve(ln) }(lns[i])
 		t.Cleanup(func() {

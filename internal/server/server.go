@@ -1,11 +1,16 @@
 // Package server turns the fusionfission library into a partition-as-a-
 // service HTTP API:
 //
-//	POST   /v1/partition   submit a graph + options, get a partition
-//	GET    /v1/jobs/{id}   poll an asynchronous job
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /v1/methods     list available methods and objectives
-//	GET    /healthz        liveness + pool/cache statistics
+//	POST   /v1/partition           submit a graph + options, get a partition
+//	GET    /v1/jobs/{id}           poll an asynchronous job
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	PUT    /v1/graphs              upload a graph, get its content id
+//	GET    /v1/graphs              graph-store occupancy statistics
+//	GET    /v1/graphs/{id}         stored-graph metadata
+//	DELETE /v1/graphs/{id}         drop a stored graph
+//	POST   /v1/graphs/{id}/mutate  derive a new graph by edge edits
+//	GET    /v1/methods             list available methods and objectives
+//	GET    /healthz                liveness + pool/cache/store statistics
 //
 // Requests run on a bounded worker pool with a per-job deadline covering
 // queue wait plus execution. Identical concurrent requests (same cache key
@@ -17,6 +22,7 @@ package server
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +32,9 @@ import (
 	"time"
 
 	ff "repro"
+	"repro/internal/graph"
+	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -68,6 +77,15 @@ type Config struct {
 	// skipped for that round; the run continues with the remaining
 	// candidates.
 	ExchangeWait time.Duration
+
+	// StoreDir is the graph store's spill directory. When set, uploaded
+	// graphs persist as binary CSR files and survive restarts and memory
+	// eviction; when empty the store is memory-only and eviction is
+	// permanent (evicted ids answer 404).
+	StoreDir string
+	// StoreMaxBytes bounds the graph store's in-memory tier by encoded
+	// graph size (default store.DefaultMaxBytes).
+	StoreMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -107,24 +125,31 @@ type Server struct {
 	cfg   Config
 	cache *resultCache
 	pool  *pool
+	store *store.Store
 	hub   *islandHub // nil unless the server has island peers
 	start time.Time
 }
 
-// New builds a server with its worker pool already running.
-func New(cfg Config) *Server {
+// New builds a server with its worker pool already running. The only error
+// source is opening the graph store's spill directory.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	st, err := store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+	if err != nil {
+		return nil, err
+	}
 	cache := newResultCache(cfg.CacheSize)
 	s := &Server{
 		cfg:   cfg,
 		cache: cache,
 		pool:  newPool(cfg.Workers, cfg.QueueDepth, cache, cfg.JobTTL),
+		store: st,
 		start: time.Now(),
 	}
 	if len(cfg.Peers) > 0 {
 		s.hub = newIslandHub(cfg.IslandID, cfg.Peers, cfg.ExchangeWait)
 	}
-	return s
+	return s, nil
 }
 
 // Close stops accepting jobs and waits for in-flight work to finish.
@@ -137,6 +162,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/methods", s.handleMethods)
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/v1/graphs/", s.handleGraphByID)
 	mux.HandleFunc(islandExchangePath, s.handleIslandExchange)
 	return mux
 }
@@ -181,6 +208,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"pool":           s.pool.snapshot(),
 		"cache":          s.cache.stats(),
+		"store":          s.store.Stats(),
 	}
 	if s.hub != nil {
 		body["island"] = map[string]any{"id": s.cfg.IslandID, "peers": s.hub.peers}
@@ -210,7 +238,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	g, err := decodeGraph(req.Graph)
+	g, digest, err := s.resolveGraph(req.Graph)
 	if err != nil {
 		s.writeRequestError(w, err)
 		return
@@ -224,10 +252,24 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k = %d exceeds vertex count %d", opt.K, g.NumVertices())
 		return
 	}
+	if len(opt.WarmStart) != 0 && len(opt.WarmStart) != g.NumVertices() {
+		writeError(w, http.StatusBadRequest, "warm_start has %d labels for %d vertices", len(opt.WarmStart), g.NumVertices())
+		return
+	}
 	timeout, err := req.timeout(opt.Budget + s.cfg.Grace)
 	if err != nil {
 		s.writeRequestError(w, err)
 		return
+	}
+
+	// The graph content is hashed at most once per request: stored graphs
+	// carry the digest in their id, and inline graphs hash lazily here only
+	// when federation or the cache actually needs a key.
+	contentID := func() string {
+		if digest == "" {
+			digest = graphDigest(g)
+		}
+		return digest
 	}
 
 	// Federated jobs never touch the result cache (key stays ""): a cache
@@ -241,12 +283,21 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opt.Island = s.cfg.IslandID
-		fed = &federation{hub: s.hub, key: exchangeKey(graphDigest(g), opt), hash: graphHash(g)}
+		id := contentID()
+		// The wire hash is the digest's raw bytes — submitting by stored
+		// graph id federates without the graph content ever being rehashed
+		// (or even sent) on this path.
+		var h [wire.HashLen]byte
+		if _, err := hex.Decode(h[:], []byte(id)); err != nil {
+			writeError(w, http.StatusInternalServerError, "bad graph digest %q: %v", id, err)
+			return
+		}
+		fed = &federation{hub: s.hub, key: exchangeKey(id, opt), hash: h}
 	}
 
 	key := ""
 	if !req.NoCache && fed == nil {
-		key = cacheKey(graphDigest(g), opt)
+		key = cacheKey(contentID(), opt)
 		if res, ok := s.cache.get(key); ok {
 			writeJSON(w, http.StatusOK, partitionResponse{
 				JobID: "", Status: statusDone, Cached: true, Result: res,
@@ -297,15 +348,40 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 // disconnected mid-request; the response is never seen, the code feeds logs.
 const statusClientClosedRequest = 499
 
-// writeRequestError maps codec errors: client mistakes get 400, anything
-// else 500.
+// writeRequestError maps codec errors: client mistakes get 400, absent
+// resources 404, anything else 500.
 func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
 	var bad *badRequestError
 	if errors.As(err, &bad) {
 		writeError(w, http.StatusBadRequest, "%s", bad.msg)
 		return
 	}
+	var missing *notFoundError
+	if errors.As(err, &missing) {
+		writeError(w, http.StatusNotFound, "%s", missing.msg)
+		return
+	}
 	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// resolveGraph materializes a request's graph. Stored graphs come out of
+// the store with their content digest for free (the id is the digest,
+// verified at upload); inline graphs return digest "" and handlePartition
+// hashes them lazily if a key is needed.
+func (s *Server) resolveGraph(spec GraphSpec) (*graph.Graph, string, error) {
+	hasInline := spec.METIS != "" || spec.N != 0 || len(spec.Edges) != 0 || len(spec.VertexWeights) != 0
+	if spec.ID != "" && !hasInline {
+		g, ok := s.store.Get(spec.ID)
+		if !ok {
+			return nil, "", notFoundf("unknown graph id %q (never uploaded, evicted, or deleted)", spec.ID)
+		}
+		return g, spec.ID, nil
+	}
+	g, err := decodeGraph(spec) // also rejects id + inline content
+	if err != nil {
+		return nil, "", err
+	}
+	return g, "", nil
 }
 
 // writeJobOutcome renders a finished job.

@@ -1,0 +1,152 @@
+package fusionfission
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+)
+
+// warmMethods are the metaheuristics that honour Options.WarmStart.
+var warmMethods = []string{"fusion-fission", "annealing", "ant-colony", "genetic"}
+
+// seedMcut evaluates an assignment's Mcut directly, for comparison against a
+// warm-started result.
+func seedMcut(t *testing.T, g *Graph, assign []int32, k int) float64 {
+	t.Helper()
+	p, err := partition.FromAssignment(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objective.MCut.Evaluate(p)
+}
+
+// TestWarmStartNeverWorseThanSeed is the warm-start contract: for every
+// metaheuristic, on several graphs and deliberately bad seeds, the final
+// Mcut is never worse than the seed assignment's.
+func TestWarmStartNeverWorseThanSeed(t *testing.T) {
+	graphs := map[string]*Graph{
+		"grid":      graph.Grid2D(9, 7),
+		"geometric": graph.RandomGeometric(80, 0.22, 11),
+	}
+	const k = 4
+	for gname, g := range graphs {
+		n := g.NumVertices()
+		// A lousy but valid seed: stripes of n/k interleaved mod k, which
+		// cuts nearly every edge on a grid.
+		seed := make([]int32, n)
+		for v := range seed {
+			seed[v] = int32(v % k)
+		}
+		seedVal := seedMcut(t, g, seed, k)
+		for _, method := range warmMethods {
+			res, err := Partition(g, Options{
+				K: k, Method: method, Seed: 7, MaxSteps: 400,
+				Budget: 5 * time.Second, WarmStart: seed,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, method, err)
+			}
+			if !res.WarmStart {
+				t.Fatalf("%s/%s: result not marked warm-started", gname, method)
+			}
+			got := recomputeMcut(g, res.Parts, res.NumParts)
+			if got > seedVal {
+				t.Fatalf("%s/%s: warm-started Mcut %.6f worse than seed %.6f", gname, method, got, seedVal)
+			}
+		}
+	}
+}
+
+// TestWarmStartFloorHoldsForNearOptimalSeed seeds with an already-excellent
+// partition and a tiny step cap, so the search has no time to rediscover it:
+// the floor guarantee must return something at least as good anyway.
+func TestWarmStartFloorHoldsForNearOptimalSeed(t *testing.T) {
+	g := graph.Dumbbell(14, 17, 3)
+	// The ideal bisection: each clique is a part.
+	seed := make([]int32, g.NumVertices())
+	for v := 14; v < g.NumVertices(); v++ {
+		seed[v] = 1
+	}
+	seedVal := seedMcut(t, g, seed, 2)
+	for _, method := range warmMethods {
+		res, err := Partition(g, Options{
+			K: 2, Method: method, Seed: 3, MaxSteps: 2,
+			Budget: 2 * time.Second, WarmStart: seed,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if got := recomputeMcut(g, res.Parts, res.NumParts); got > seedVal {
+			t.Fatalf("%s: Mcut %.6f worse than near-optimal seed %.6f after 2 steps", method, got, seedVal)
+		}
+	}
+}
+
+// TestWarmStartValidation pins the error paths: wrong length, out-of-range
+// labels, deterministic methods, and the multilevel clear.
+func TestWarmStartValidation(t *testing.T) {
+	g := graph.Grid2D(5, 5)
+	if _, err := Partition(g, Options{K: 2, WarmStart: []int32{0, 1}}); err == nil {
+		t.Fatal("short warm start accepted")
+	}
+	bad := make([]int32, g.NumVertices())
+	bad[3] = 7 // >= K
+	if _, err := Partition(g, Options{K: 2, WarmStart: bad}); err == nil {
+		t.Fatal("out-of-range warm label accepted")
+	}
+	ok := make([]int32, g.NumVertices())
+	for v := range ok {
+		ok[v] = int32(v % 2)
+	}
+	if _, err := Partition(g, Options{K: 2, Method: "linear-bi", WarmStart: ok}); err == nil {
+		t.Fatal("warm start on a deterministic method accepted")
+	}
+	// Multilevel is cleared, not rejected: the request still runs flat.
+	norm, err := Normalize(Options{K: 2, Method: "annealing", Multilevel: true, WarmStart: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Multilevel || norm.CoarsenTo != 0 {
+		t.Fatalf("warm start did not clear the V-cycle flags: %+v", norm)
+	}
+	res, err := Partition(g, Options{K: 2, Method: "annealing", Multilevel: true, MaxSteps: 50, WarmStart: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hierarchy != nil {
+		t.Fatal("warm-started run built a V-cycle hierarchy")
+	}
+}
+
+// TestWarmStartPortfolioAndDeterminism: a warm start composes with the
+// portfolio, and a step-capped warm run is bit-identical when repeated.
+func TestWarmStartPortfolioAndDeterminism(t *testing.T) {
+	g := graph.RandomGeometric(70, 0.24, 9)
+	seed := make([]int32, g.NumVertices())
+	for v := range seed {
+		seed[v] = int32(v % 3)
+	}
+	opt := Options{K: 3, Method: "fusion-fission", Seed: 11, MaxSteps: 300, Parallelism: 3, WarmStart: seed}
+	a, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers != 3 {
+		t.Fatalf("portfolio width %d", a.Workers)
+	}
+	b, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			t.Fatalf("warm-started portfolio run not deterministic at vertex %d", v)
+		}
+	}
+	if seedVal := seedMcut(t, g, seed, 3); recomputeMcut(g, a.Parts, a.NumParts) > seedVal {
+		t.Fatalf("portfolio warm run worse than seed")
+	}
+}
