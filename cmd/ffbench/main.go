@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,6 +99,18 @@ func main() {
 	// ratios are directly comparable to the committed baseline.
 	if cmd == "store" {
 		runStoreBench(*seed, *upload, *graphID)
+		return
+	}
+
+	// The memetic probe runs on the BENCH_memetic.json acceptance instance so
+	// its flat/multilevel/memetic Mcut figures are directly comparable to the
+	// committed baseline.
+	if cmd == "memetic" {
+		parallelism := *par
+		if parallelism == 0 {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
+		runMemeticBench(*k, *seed, *budget, parallelism)
 		return
 	}
 
@@ -205,6 +218,47 @@ func runAnnealSteps(k int, seed int64, budget time.Duration) {
 		res.Steps, elapsed, float64(res.Steps)/elapsed, res.Energy)
 }
 
+// runMemeticBench compares the three genetic configurations of the committed
+// BENCH_memetic.json on its acceptance instance: flat crossover, the GA
+// inside a multilevel V-cycle, and memetic cut-protecting V-cycle
+// recombination — all at the same wall-clock budget and portfolio width.
+func runMemeticBench(k int, seed int64, budget time.Duration, parallelism int) {
+	g := graph.RandomGeometric(10_000, 0.02, 1)
+	if budget == 0 {
+		budget = 4 * time.Second
+	}
+	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d, budget %s, width %d\n\n",
+		g.NumVertices(), g.NumEdges(), k, seed, budget, parallelism)
+	spec, err := experiments.MethodByName("Genetic algorithm")
+	if err != nil {
+		fatal(err)
+	}
+	base := experiments.RunConfig{
+		Objective: objective.MCut, Budget: budget, MaxSteps: 1 << 30,
+		Seed: seed, Parallelism: parallelism,
+	}
+	variants := []struct {
+		name string
+		mod  func(*experiments.RunConfig)
+	}{
+		{"flat crossover", func(*experiments.RunConfig) {}},
+		{"multilevel V-cycle GA", func(c *experiments.RunConfig) { c.Multilevel = true }},
+		{"memetic recombination", func(c *experiments.RunConfig) { c.MemeticCrossover = true }},
+	}
+	fmt.Printf("%-24s %10s %10s\n", "genetic variant", "Mcut", "elapsed")
+	for _, v := range variants {
+		cfg := base
+		v.mod(&cfg)
+		start := time.Now()
+		res, err := spec.Run(context.Background(), g, k, cfg)
+		if err != nil {
+			fmt.Printf("%-24s ERROR: %v\n", v.name, err)
+			continue
+		}
+		fmt.Printf("%-24s %10.4f %10s\n", v.name, objective.MCut.Evaluate(res.P), time.Since(start).Round(time.Millisecond))
+	}
+}
+
 // runAblation quantifies the fusion-fission design choices DESIGN.md calls
 // out: percolation fission vs random splits, law learning vs uniform laws,
 // and the value of letting the part count drift.
@@ -260,13 +314,14 @@ func rejectMultilevel(cmd string, multi bool, coarse int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance|anneal|store> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ffbench <table1|figure1|ablation|variance|anneal|store|memetic> [flags]
   table1   reproduce the paper's Table 1 (17 methods x 3 objectives)
   figure1  reproduce the paper's Figure 1 (anytime Mcut traces)
   ablation quantify fusion-fission design choices
   variance metaheuristic spread over 8 seeds (parallel runs)
   anneal   time the SA proposal loop on the BENCH_anneal.json instance
   store    time graph admission (METIS parse vs binary CSR vs graph store)
+  memetic  compare flat / multilevel / memetic GA on the BENCH_memetic.json instance
 flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
        -multilevel -coarsen-to N   (table1 and variance only)
        -upload URL -graph-id ID    (store only: remote admission timing)

@@ -8,6 +8,7 @@
 //	ffpart -gen grid:64x64 -k 8 -method spectral-lanc-bi-kl
 //	ffpart -gen geometric:500:0.08 -k 16 -method annealing -budget 5s
 //	ffpart -gen geometric:10000:0.02 -k 32 -multilevel -parallelism 4
+//	ffpart -gen geometric:10000:0.02 -k 32 -method genetic -memetic -parallelism 4
 //
 // The output file holds one part id per line, vertex order. With -out
 // omitted, only the summary is printed.
@@ -51,7 +52,8 @@ func main() {
 		steps     = flag.Int("steps", 0, "optional step cap for metaheuristics (0 = none)")
 		par       = flag.Int("parallelism", 1, "metaheuristic portfolio width (0 = all cores)")
 		multi     = flag.Bool("multilevel", false, "run the metaheuristic inside a multilevel V-cycle")
-		coarsenTo = flag.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default; needs -multilevel)")
+		memetic   = flag.Bool("memetic", false, "genetic method: recombine parents by cut-protecting V-cycle crossover instead of flat crossover")
+		coarsenTo = flag.Int("coarsen-to", 0, "V-cycle coarsening cutoff in vertices (0 = default; needs -multilevel or -memetic)")
 		out       = flag.String("out", "", "write the partition here (one part id per line)")
 		list      = flag.Bool("list", false, "list available methods and exit")
 		islands   = flag.String("islands", "", "comma-separated ffserve URLs: fan the job out as a federated island run instead of solving locally")
@@ -112,7 +114,9 @@ func main() {
 		K: *k, Method: *method, Objective: *obj,
 		Seed: *seed, Budget: *budget, MaxSteps: *steps,
 		Parallelism: parallelism,
-		Multilevel:  *multi, CoarsenTo: *coarsenTo,
+		Multilevel: *multi, CoarsenTo: *coarsenTo,
+
+		MemeticCrossover: *memetic,
 	}
 	if *warmFile != "" {
 		warm, err := readPartition(*warmFile)

@@ -136,6 +136,10 @@ type MethodInfo struct {
 	// Multilevel marks methods that honour Options.Multilevel — the
 	// engine-backed metaheuristics that can run inside the V-cycle driver.
 	Multilevel bool `json:"multilevel"`
+	// Memetic marks methods that honour Options.MemeticCrossover — currently
+	// the genetic algorithm, whose crossover can become a cut-protecting
+	// V-cycle recombination.
+	Memetic bool `json:"memetic"`
 }
 
 // MethodInfos returns metadata for every method, Table 1 rows first, both
@@ -148,11 +152,11 @@ func MethodInfos() []MethodInfo {
 	}{{methodIDs, false}, {extensionIDs, true}} {
 		start := len(out)
 		for id, label := range group.ids {
-			meta, multi := false, false
+			meta, multi, memetic := false, false, false
 			if spec, err := experiments.MethodByName(label); err == nil {
-				meta, multi = spec.Metaheuristic, spec.Multilevel
+				meta, multi, memetic = spec.Metaheuristic, spec.Multilevel, spec.Memetic
 			}
-			out = append(out, MethodInfo{ID: id, Label: label, Extension: group.extension, Metaheuristic: meta, Multilevel: multi})
+			out = append(out, MethodInfo{ID: id, Label: label, Extension: group.extension, Metaheuristic: meta, Multilevel: multi, Memetic: memetic})
 		}
 		sort.Slice(out[start:], func(i, j int) bool { return out[start+i].ID < out[start+j].ID })
 	}
@@ -216,10 +220,22 @@ type Options struct {
 	// metaheuristics) and cleared for all others during normalization, the
 	// same way Parallelism is pinned for classical methods.
 	Multilevel bool `json:"multilevel,omitempty"`
+	// MemeticCrossover upgrades the genetic algorithm to a memetic multilevel
+	// algorithm: crossover becomes the cut-protecting V-cycle recombination
+	// of KaHyPar-style memetic partitioning — coarsening is forbidden from
+	// contracting any edge cut by either parent, the coarsest graph is seeded
+	// from the fitter parent, and refinement on the way up merges the
+	// parents' boundaries — so every offspring is floor-guaranteed never
+	// worse than its better parent. Takes precedence over Multilevel for the
+	// genetic method (recombination is its multilevel mode; Multilevel is
+	// cleared during normalization) and is itself cleared for every method
+	// MethodInfos does not mark Memetic. Composes with Parallelism and
+	// WarmStart the same way the flat GA does.
+	MemeticCrossover bool `json:"memetic_crossover,omitempty"`
 	// CoarsenTo is the V-cycle's coarsening cutoff: coarsening stops once
 	// the graph has at most this many vertices. 0 picks a default scaled to
-	// K; the cutoff is clamped to at least 2K. Meaningful only with
-	// Multilevel (cleared otherwise during normalization).
+	// K; the cutoff is clamped to at least 2K. Meaningful with Multilevel or
+	// MemeticCrossover (cleared otherwise during normalization).
 	CoarsenTo int `json:"coarsen_to,omitempty"`
 	// WarmStart optionally seeds the solve with a previous assignment (one
 	// part id in [0, K) per vertex, length NumVertices) — the incremental
@@ -314,13 +330,23 @@ func (o Options) normalized() (Options, string, objective.Objective, error) {
 		if !spec.Multilevel {
 			o.Multilevel = false
 		}
+		if !spec.Memetic {
+			o.MemeticCrossover = false
+		}
 	}
 	if len(o.WarmStart) > 0 {
 		// A warm seed replaces the V-cycle: the whole point is to repair the
 		// previous fine-graph cut in place, not to re-coarsen from scratch.
+		// Memetic recombination is unaffected — its hierarchies are rebuilt
+		// per crossover around each parent pair, warm seed included.
 		o.Multilevel = false
 	}
-	if !o.Multilevel {
+	if o.MemeticCrossover {
+		// Memetic recombination is the GA's multilevel mode; running it
+		// inside another V-cycle would recombine coarse-graph phenotypes.
+		o.Multilevel = false
+	}
+	if !o.Multilevel && !o.MemeticCrossover {
 		o.CoarsenTo = 0
 	}
 	return o, rowName, obj, nil
@@ -482,7 +508,8 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 	run, err := spec.Run(ctx, g, opt.K, experiments.RunConfig{
 		Objective: obj, Budget: opt.Budget, MaxSteps: opt.MaxSteps,
 		Seed: opt.Seed, Parallelism: opt.Parallelism,
-		Multilevel: opt.Multilevel, CoarsenTo: opt.CoarsenTo, Monitor: mon,
+		Multilevel: opt.Multilevel, CoarsenTo: opt.CoarsenTo,
+		MemeticCrossover: opt.MemeticCrossover, Monitor: mon,
 		Island: opt.Island, Relay: opt.Exchange,
 		WarmStart: warmAssign,
 	})

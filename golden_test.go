@@ -26,6 +26,13 @@ import (
 //
 // The fusion-fission ensemble method is excluded: its default run count is
 // GOMAXPROCS, which varies across machines.
+//
+// Besides the per-method entries, the file pins named option-variant runs
+// (goldenVariants): "genetic+memetic" captures the memetic V-cycle
+// recombination mode of the GA, while the plain "genetic" entry keeps
+// guarding that the flat GA is byte-identical with the option off — the
+// memetic code path must not consume a single draw from the flat path's RNG
+// stream.
 
 const (
 	goldenPath     = "testdata/golden_methods.json"
@@ -69,6 +76,35 @@ func goldenOptions(id string) Options {
 	}
 }
 
+// goldenCase is one pinned run: a plain method id, or a named option
+// variant on top of it.
+type goldenCase struct {
+	name string
+	opt  Options
+}
+
+// goldenCases lists every golden entry: one per method id, plus the named
+// option variants.
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, id := range goldenMethodIDs() {
+		cases = append(cases, goldenCase{name: id, opt: goldenOptions(id)})
+	}
+	for _, v := range goldenVariants() {
+		cases = append(cases, v)
+	}
+	return cases
+}
+
+// goldenVariants pins option-flag runs beside the per-method entries.
+func goldenVariants() []goldenCase {
+	memetic := goldenOptions("genetic")
+	memetic.MemeticCrossover = true
+	return []goldenCase{
+		{name: "genetic+memetic", opt: memetic},
+	}
+}
+
 func TestGoldenMethodPartitions(t *testing.T) {
 	g := goldenGraph()
 
@@ -77,12 +113,12 @@ func TestGoldenMethodPartitions(t *testing.T) {
 			Graph: "grid12x12", K: goldenK, Seed: goldenSeed, MaxSteps: goldenMaxSteps,
 			Methods: make(map[string]goldenEntry),
 		}
-		for _, id := range goldenMethodIDs() {
-			res, err := Partition(g, goldenOptions(id))
+		for _, c := range goldenCases() {
+			res, err := Partition(g, c.opt)
 			if err != nil {
-				t.Fatalf("%s: %v", id, err)
+				t.Fatalf("%s: %v", c.name, err)
 			}
-			gf.Methods[id] = goldenEntry{Parts: res.Parts, Mcut: res.Mcut}
+			gf.Methods[c.name] = goldenEntry{Parts: res.Parts, Mcut: res.Mcut}
 		}
 		buf, err := json.MarshalIndent(gf, "", " ")
 		if err != nil {
@@ -106,14 +142,14 @@ func TestGoldenMethodPartitions(t *testing.T) {
 	if err := json.Unmarshal(buf, &gf); err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range goldenMethodIDs() {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			want, ok := gf.Methods[id]
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			want, ok := gf.Methods[c.name]
 			if !ok {
-				t.Fatalf("method %s missing from golden file; regenerate", id)
+				t.Fatalf("entry %s missing from golden file; regenerate", c.name)
 			}
-			res, err := Partition(g, goldenOptions(id))
+			res, err := Partition(g, c.opt)
 			if err != nil {
 				t.Fatal(err)
 			}

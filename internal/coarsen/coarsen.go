@@ -15,6 +15,7 @@ package coarsen
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -79,23 +80,126 @@ func HEMContext(ctx context.Context, g *graph.Graph, minSize int, seed int64) ([
 	return ladder, nil
 }
 
+// HEMProtected is HEMContext with cut-edge protection: guides are complete
+// vertex labelings of g (typically the two parent assignments of a memetic
+// recombination), and an edge whose endpoints disagree under ANY guide is
+// protected — the matcher never contracts it, at any level, so every guide's
+// cut structure survives to the coarsest graph intact.
+//
+// Because contraction only ever merges vertices that agree under every
+// guide, each coarse vertex is homogeneous with respect to all guides; the
+// guides therefore project level by level (a coarse vertex inherits its
+// constituents' shared label), and the returned coarseGuides are the input
+// guides restated on the coarsest graph. Combined with the self-loop
+// folding of contract, a guide's Cut, Ncut and Mcut on the coarsest graph
+// equal its values on g exactly, so refinement at any level optimizes the
+// true fine-graph objective.
+//
+// Coarsening stops at minSize vertices, when protection leaves no
+// contractible edge, or when the reduction stalls; guides with a label set
+// of k parts bound the coarsest size from below by roughly the number of
+// connected intersection blocks of the guides (at most k^len(guides) for
+// two k-way parents), which is the operator's point: the coarsest graph IS
+// the overlay of the parent cuts. ctx is polled per level like HEMContext.
+func HEMProtected(ctx context.Context, g *graph.Graph, minSize int, seed int64, guides [][]int32) (ladder []Level, coarseGuides [][]int32, err error) {
+	for i, gd := range guides {
+		if len(gd) != g.NumVertices() {
+			return nil, nil, fmt.Errorf("coarsen: guide %d has %d labels for %d vertices", i, len(gd), g.NumVertices())
+		}
+	}
+	r := rng.New(seed)
+	cur := g
+	coarseGuides = guides
+	for cur.NumVertices() > minSize {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		cg := coarseGuides
+		protect := func(u, v int) bool {
+			for _, gd := range cg {
+				if gd[u] != gd[v] {
+					return true
+				}
+			}
+			return false
+		}
+		match := heavyEdgeMatchingWorkers(cur, r, protect, matchWorkers(cur.NumVertices()))
+		coarse, toCoarse := contract(cur, match)
+		if coarse.NumVertices() >= cur.NumVertices() {
+			break // no contractible (unprotected) edge left
+		}
+		ladder = append(ladder, Level{G: coarse, Map: toCoarse})
+		coarseGuides = projectGuides(cg, toCoarse, coarse.NumVertices())
+		if float64(coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+			cur = coarse
+			break // diminishing returns; stop coarsening
+		}
+		cur = coarse
+	}
+	return ladder, coarseGuides, nil
+}
+
+// projectGuides restates fine-level guides on the coarse graph: every fine
+// vertex of a coarse vertex shares each guide's label (the protection
+// invariant), so the coarse label is simply any constituent's.
+func projectGuides(guides [][]int32, toCoarse []int32, nc int) [][]int32 {
+	out := make([][]int32, len(guides))
+	for i, gd := range guides {
+		cg := make([]int32, nc)
+		for v, c := range toCoarse {
+			cg[c] = gd[v]
+		}
+		out[i] = cg
+	}
+	return out
+}
+
+// Protect forbids the matcher from contracting specific edges: when
+// Protect(u, v) reports true the edge {u, v} is skipped by every candidate
+// scan, so u and v can never be merged into one coarse vertex. The memetic
+// recombination operator protects the edges cut by either parent partition;
+// nil protects nothing. A Protect function must be symmetric and stable for
+// the duration of one matching pass.
+type Protect func(u, v int) bool
+
 // heavyEdgeMatching visits vertices in random order and matches each
 // unmatched vertex with its unmatched neighbor of maximum edge weight.
 // match[v] == v for unmatched vertices.
+func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
+	return heavyEdgeMatchingWorkers(g, r, nil, matchWorkers(g.NumVertices()))
+}
+
+// matchWorkers picks the speculative-scan worker count for an n-vertex
+// graph: GOMAXPROCS, or one goroutine below parallelMatchMin where spawn
+// overhead exceeds the scan work. The matching is bit-identical either way.
+func matchWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelMatchMin {
+		workers = 1
+	}
+	return workers
+}
+
+// heavyEdgeMatchingWorkers is the matching engine behind heavyEdgeMatching
+// and the protected ladders, with the speculative worker count explicit so
+// tests can pin it.
 //
 // The matching is computed speculate-then-commit so the O(m) neighbor scans
 // — the V-cycle's serial prefix — run on every core while the result stays
-// bit-identical to the serial algorithm. At the start of a pass every
-// vertex is unmatched, so each vertex's first candidate (its heaviest
-// neighbor under the serial scan's first-index-of-maximum tie-break) is a
-// pure function of the graph; speculateHeaviest computes them in parallel.
-// The commit pass then walks the random order exactly as the serial code
-// did: a speculative candidate that is still unmatched IS the serial
-// choice — the unmatched set only shrinks during a pass, so the heaviest
-// neighbor in the start-of-pass superset, if still unmatched, is also the
-// first-index maximum over the current subset — and a candidate that was
-// matched in the meantime falls back to the serial rescan.
-func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
+// bit-identical to the serial algorithm for ANY worker count. At the start
+// of a pass every vertex is unmatched, so each vertex's first candidate (its
+// heaviest eligible neighbor under the serial scan's first-index-of-maximum
+// tie-break) is a pure function of the graph and the protection mask;
+// speculateHeaviest computes them in parallel. The commit pass then walks
+// the random order exactly as the serial code did: a speculative candidate
+// that is still unmatched IS the serial choice — the unmatched set only
+// shrinks during a pass and the protection mask never changes, so the
+// heaviest eligible neighbor in the start-of-pass superset, if still
+// unmatched, is also the first-index maximum over the current subset — and
+// a candidate that was matched in the meantime falls back to the serial
+// rescan. Protected edges are excluded from both scans symmetrically, so a
+// protected pair can never commit.
+func heavyEdgeMatchingWorkers(g *graph.Graph, r *rand.Rand, protect Protect, workers int) []int32 {
 	n := g.NumVertices()
 	match := make([]int32, n)
 	for v := range match {
@@ -103,14 +207,14 @@ func heavyEdgeMatching(g *graph.Graph, r *rand.Rand) []int32 {
 	}
 	order := make([]int, n)
 	rng.Perm(r, order)
-	spec := speculateHeaviest(g)
+	spec := speculateHeaviest(g, protect, workers)
 	for _, v := range order {
 		if match[v] != int32(v) {
 			continue
 		}
 		best := int(spec[v])
 		if best >= 0 && match[best] != int32(best) {
-			best = rescanHeaviest(g, match, v)
+			best = rescanHeaviest(g, match, protect, v)
 		}
 		if best >= 0 {
 			match[v] = int32(best)
@@ -127,10 +231,12 @@ const parallelMatchMin = 4096
 
 // speculateHeaviest returns, per vertex, the neighbor the serial heavy-edge
 // scan would pick on an all-unmatched graph: the first index of the maximum
-// edge weight, -1 for isolated vertices. Pure function of g, computed on
-// contiguous vertex ranges across GOMAXPROCS goroutines; each worker writes
-// a disjoint slice range, so the output is deterministic for any schedule.
-func speculateHeaviest(g *graph.Graph) []int32 {
+// edge weight among eligible (unprotected, non-self) edges, -1 for vertices
+// with no eligible neighbor. Pure function of (g, protect), computed on
+// contiguous vertex ranges across the given worker count; each worker
+// writes a disjoint slice range, so the output is deterministic for any
+// schedule and any worker count.
+func speculateHeaviest(g *graph.Graph, protect Protect, workers int) []int32 {
 	n := g.NumVertices()
 	spec := make([]int32, n)
 	scan := func(lo, hi int) {
@@ -138,16 +244,23 @@ func speculateHeaviest(g *graph.Graph) []int32 {
 			nbrs := g.Neighbors(v)
 			wts := g.Weights(v)
 			best, bestW := -1, 0.0
-			for i, u := range nbrs {
-				if int(u) != v && wts[i] > bestW {
-					best, bestW = int(u), wts[i]
+			if protect == nil {
+				for i, u := range nbrs {
+					if int(u) != v && wts[i] > bestW {
+						best, bestW = int(u), wts[i]
+					}
+				}
+			} else {
+				for i, u := range nbrs {
+					if int(u) != v && wts[i] > bestW && !protect(v, int(u)) {
+						best, bestW = int(u), wts[i]
+					}
 				}
 			}
 			spec[v] = int32(best)
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || n < parallelMatchMin {
+	if workers <= 1 || n < workers {
 		scan(0, n)
 		return spec
 	}
@@ -169,14 +282,15 @@ func speculateHeaviest(g *graph.Graph) []int32 {
 }
 
 // rescanHeaviest is the serial fallback when a speculative candidate was
-// matched before v's turn: the original scan over currently unmatched
-// neighbors, first-index-of-maximum tie-break.
-func rescanHeaviest(g *graph.Graph, match []int32, v int) int {
+// matched before v's turn: the original scan over currently unmatched,
+// unprotected neighbors, first-index-of-maximum tie-break.
+func rescanHeaviest(g *graph.Graph, match []int32, protect Protect, v int) int {
 	nbrs := g.Neighbors(v)
 	wts := g.Weights(v)
 	best, bestW := -1, 0.0
 	for i, u := range nbrs {
-		if match[u] == u && int(u) != v && wts[i] > bestW {
+		if match[u] == u && int(u) != v && wts[i] > bestW &&
+			(protect == nil || !protect(v, int(u))) {
 			best, bestW = int(u), wts[i]
 		}
 	}

@@ -1,0 +1,126 @@
+package coarsen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// FuzzProtectedMatching closes the latent gap that the matcher — the one
+// piece of the coarsener with a hand-rolled parallel phase — had no
+// seeded-corpus fuzz target. The fuzzer builds adversarial graphs (three
+// degree-distribution regimes: uniform random, hub-dominated star overlays,
+// and near-path chains with duplicate edge weights, all with self-loops and
+// non-unit vertex weights sprinkled in), draws a random protection mask from
+// two random guide labelings, and asserts the matcher's whole contract:
+//
+//   - the committed matching equals the serial reference bit for bit at the
+//     fuzzed speculative worker count (determinism across parallelism);
+//   - it is an involution that never pairs a protected or identical vertex;
+//   - it never panics, whatever the shape of the graph.
+//
+// The committed corpus lives under testdata/fuzz/FuzzProtectedMatching and
+// is replayed as plain tests by the CI "Fuzz seeds smoke" step.
+func FuzzProtectedMatching(f *testing.F) {
+	// (n, edgeSeed, maskSeed, regime, workers) — the corpus pins one seed per
+	// regime, a degenerate tiny graph, an everything-protected mask, and a
+	// worker count far above the vertex count.
+	f.Add(uint16(60), uint64(1), uint64(2), uint16(0), uint16(3))
+	f.Add(uint16(120), uint64(7), uint64(0), uint16(1), uint16(4))
+	f.Add(uint16(90), uint64(3), uint64(11), uint16(2), uint16(8))
+	f.Add(uint16(2), uint64(0), uint64(0), uint16(0), uint16(1))
+	f.Add(uint16(40), uint64(5), uint64(0xffff), uint16(1), uint16(64))
+	f.Fuzz(func(t *testing.T, n uint16, edgeSeed, maskSeed uint64, regime, workers uint16) {
+		g := fuzzGraph(int(n), int64(edgeSeed), int(regime%3))
+		nv := g.NumVertices()
+
+		// Random protection mask from two guide labelings, the exact shape
+		// HEMProtected derives from parent partitions. maskSeed 0 means no
+		// protection (exercises the nil-protect fast path).
+		var protect Protect
+		if maskSeed != 0 {
+			mr := rng.New(int64(maskSeed))
+			ka := 2 + mr.Intn(6)
+			ga := make([]int32, nv)
+			gb := make([]int32, nv)
+			for v := range ga {
+				ga[v] = int32(mr.Intn(ka))
+				gb[v] = int32(mr.Intn(3))
+			}
+			protect = func(u, v int) bool { return ga[u] != ga[v] || gb[u] != gb[v] }
+		}
+
+		w := 1 + int(workers%64)
+		got := heavyEdgeMatchingWorkers(g, rng.New(int64(edgeSeed)+42), protect, w)
+		want := serialProtectedMatching(g, rng.New(int64(edgeSeed)+42), protect)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("workers=%d: match[%d] = %d, serial reference %d", w, v, got[v], want[v])
+			}
+		}
+		for v, m := range got {
+			if int(m) == v {
+				continue
+			}
+			if int(m) < 0 || int(m) >= nv {
+				t.Fatalf("match[%d] = %d out of range", v, m)
+			}
+			if got[m] != int32(v) {
+				t.Fatalf("match not an involution at %d (-> %d -> %d)", v, m, got[m])
+			}
+			if protect != nil && protect(v, int(m)) {
+				t.Fatalf("protected pair {%d,%d} matched", v, m)
+			}
+		}
+	})
+}
+
+// fuzzGraph builds a connected-ish test graph with n vertices (clamped to
+// [2, 256]) in one of three degree regimes: 0 = uniform random edges,
+// 1 = hub-dominated (a few vertices carry most of the degree), 2 = a path
+// with random chords and heavy duplicate edge weights. All regimes add
+// self-loops and non-unit vertex weights.
+func fuzzGraph(n int, seed int64, regime int) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	if n > 256 {
+		n = 256
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetVertexWeight(v, float64(1+r.Intn(5)))
+	}
+	addEdge := func(u, v int) {
+		if u != v {
+			b.AddEdge(u, v, float64(1+r.Intn(4)))
+		}
+	}
+	switch regime {
+	case 1: // hubs: vertex i%max(1,n/16) fans out everywhere
+		hubs := n / 16
+		if hubs < 1 {
+			hubs = 1
+		}
+		for i := 0; i < 4*n; i++ {
+			addEdge(r.Intn(hubs), r.Intn(n))
+		}
+	case 2: // path + chords, duplicate weights merge in the builder
+		for v := 1; v < n; v++ {
+			b.AddEdge(v-1, v, float64(1+v%3))
+		}
+		for i := 0; i < n; i++ {
+			addEdge(r.Intn(n), r.Intn(n))
+		}
+	default: // uniform random
+		for i := 0; i < 3*n; i++ {
+			addEdge(r.Intn(n), r.Intn(n))
+		}
+	}
+	for i := 0; i < n/6+1; i++ {
+		b.AddSelfLoop(r.Intn(n), float64(1+r.Intn(3)))
+	}
+	return b.MustBuild()
+}

@@ -50,8 +50,16 @@ type RunConfig struct {
 	// does not mark Multilevel support.
 	Multilevel bool
 	// CoarsenTo is the V-cycle's coarsening cutoff in vertices (0 selects
-	// vcycle.DefaultCoarsenTo(k)); meaningful only with Multilevel.
+	// vcycle.DefaultCoarsenTo(k)); meaningful with Multilevel or
+	// MemeticCrossover.
 	CoarsenTo int
+	// MemeticCrossover switches the genetic algorithm's crossover to the
+	// cut-protecting V-cycle recombination of internal/memetic (offspring
+	// floor-guaranteed never worse than the better parent). Takes precedence
+	// over Multilevel for the GA — memetic recombination is its multilevel
+	// mode. Ignored by methods whose MethodSpec does not mark Memetic
+	// support.
+	MemeticCrossover bool
 	// Monitor optionally receives live progress (steps, best objective,
 	// workers); used by the server's job-polling endpoint.
 	Monitor *engine.Incumbent
@@ -102,6 +110,9 @@ type MethodSpec struct {
 	// own multilevel scheme and the ensemble manages its own workers, so
 	// neither carries the flag.
 	Multilevel bool
+	// Memetic marks the methods that honour RunConfig.MemeticCrossover
+	// (currently the genetic algorithm only).
+	Memetic bool
 	// Run produces a k-way partition. Every method honours ctx
 	// cooperatively: a classical method returns ctx.Err() once ctx fires,
 	// a metaheuristic stops and returns its best partition so far with
@@ -155,7 +166,7 @@ var ExtensionMethods = []MethodSpec{
 		p, err := multilevel.PartitionKWayContext(ctx, g, k, multilevel.Options{Seed: cfg.Seed})
 		return serial(p), err
 	}},
-	{Name: "Genetic algorithm", Metaheuristic: true, Multilevel: true, Run: runGenetic},
+	{Name: "Genetic algorithm", Metaheuristic: true, Multilevel: true, Memetic: true, Run: runGenetic},
 	{Name: "Fusion Fission (ensemble)", Metaheuristic: true, Run: func(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
 		init, err := warmInitial(g, cfg, g.NumVertices())
 		if err != nil {
@@ -398,7 +409,7 @@ func fusionFissionSolve(ctx context.Context, cg *graph.Graph, k int, cfg RunConf
 }
 
 func runGenetic(ctx context.Context, g *graph.Graph, k int, cfg RunConfig) (RunResult, error) {
-	if cfg.Multilevel {
+	if cfg.Multilevel && !cfg.MemeticCrossover {
 		return runVCycle(ctx, g, k, cfg, geneticSolve)
 	}
 	// One step is a whole generation: exchange often.
@@ -421,7 +432,8 @@ func geneticSolveRes(ctx context.Context, g *graph.Graph, k int, cfg RunConfig, 
 	return genetic.PartitionContext(ctx, g, k, genetic.Options{
 		Objective: cfg.Objective, Budget: budget,
 		Generations: stepsOr(cfg.MaxSteps, 100_000), Seed: seed, Runtime: rt,
-		Initial: init,
+		Initial:          init,
+		MemeticCrossover: cfg.MemeticCrossover, CoarsenTo: cfg.CoarsenTo,
 	})
 }
 

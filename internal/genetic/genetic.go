@@ -4,6 +4,20 @@
 // fission. It is provided as an extension baseline, not a Table 1 row:
 // a steady-state GA over assignments with tournament selection, uniform
 // crossover followed by balance repair, move mutation, and elitism.
+//
+// With Options.MemeticCrossover the GA becomes a memetic multilevel
+// algorithm in the KaHyPar/KaFFPaE mould: crossover is replaced by
+// memetic.Recombine — a V-cycle whose coarsening protects both parents' cut
+// edges, so the offspring is floor-guaranteed never worse than the better
+// parent — and most children are pure recombinations (the V-cycle's
+// refinement is the memetic local search, reusing the offspring's
+// score.Tracker state instead of rebuilding it), with a minority of
+// mutation children keeping diversity. Foreign incumbents arriving over the
+// portfolio/island exchange are recombined with the current best rather
+// than inserted raw, the natural restart point Sanders & Schulz use in
+// distributed evolutionary partitioning. The flat GA's random stream is
+// untouched when the option is off: every memetic draw happens behind the
+// flag, so existing goldens stay bit-identical.
 package genetic
 
 import (
@@ -15,6 +29,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/memetic"
 	"repro/internal/objective"
 	"repro/internal/partition"
 	"repro/internal/percolation"
@@ -40,6 +55,14 @@ type Options struct {
 	DisableLocalSearch bool
 	// Generations caps the evolution (default 200).
 	Generations int
+	// MemeticCrossover replaces flat label-aligned crossover with the
+	// cut-protecting V-cycle recombination of internal/memetic. Children are
+	// never worse than their better parent; the population default shrinks
+	// to 12 because each recombination is a full multilevel pass.
+	MemeticCrossover bool
+	// CoarsenTo bounds the protected hierarchy's coarsening cutoff when
+	// MemeticCrossover is set (0 selects the vcycle default for k).
+	CoarsenTo int
 	// Budget caps wall-clock time; 0 means no limit.
 	Budget time.Duration
 	// Seed drives all randomness.
@@ -59,6 +82,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Population == 0 {
 		o.Population = 24
+		if o.MemeticCrossover {
+			o.Population = 12
+		}
 	}
 	if o.TournamentSize == 0 {
 		o.TournamentSize = 3
@@ -163,9 +189,20 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	completed := 0 // fully-evaluated generations, excluding an aborted one
 	for loop.Next() {
 		// A portfolio peer's strictly better incumbent joins the population,
-		// displacing the current worst (elitism then carries it forward).
+		// displacing the current worst (elitism then carries it forward). In
+		// memetic mode the foreign solution is first recombined with the
+		// local best — KaFFPaE's island crossover — so its structure merges
+		// into the population instead of merely sitting beside it.
 		if assign, fe, ok := loop.Foreign(); ok && fe < pop[0].fitness {
 			adopted := append([]int32(nil), assign...) // other workers share the slice
+			if opt.MemeticCrossover {
+				if p, err := memetic.Recombine(ctx, g, k, adopted, pop[0].assign, memetic.Options{
+					Objective: opt.Objective, CoarsenTo: opt.CoarsenTo,
+					Imbalance: 0.5, Seed: r.Int63(),
+				}); err == nil {
+					adopted = p.Assignment()
+				}
+			}
 			pop[len(pop)-1] = individual{assign: adopted, fitness: fitnessOf(adopted)}
 			sortPop(pop)
 		}
@@ -179,6 +216,29 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			}
 			pa := tournament(pop, opt.TournamentSize, r)
 			pb := tournament(pop, opt.TournamentSize, r)
+			if opt.MemeticCrossover && r.Intn(4) != 0 {
+				// Recombination child: the V-cycle's per-level refinement is
+				// the memetic local search (score.Tracker-driven inside
+				// refine.KWay), so the returned partition is scored directly
+				// — no mutate/repair/rebuild. The floor guarantee makes the
+				// child at worst as good as its better parent.
+				p, err := memetic.Recombine(ctx, g, k, pa.assign, pb.assign, memetic.Options{
+					Objective: opt.Objective, CoarsenTo: opt.CoarsenTo,
+					Imbalance: 0.5, Seed: r.Int63(),
+				})
+				if err == nil {
+					next = append(next, individual{
+						assign:  p.Assignment(),
+						fitness: opt.Objective.EvaluateSmoothed(p, eps),
+					})
+					continue
+				}
+				if ctx.Err() != nil {
+					break
+				}
+				// Recombination failed (degenerate parents); fall through to
+				// the flat pipeline as the mutation path.
+			}
 			child := crossover(pa.assign, pb.assign, k, r)
 			mutate(child, k, opt.MutationRate, r)
 			repair(g, child, k, r)

@@ -45,8 +45,13 @@ type PartitionRequest struct {
 	// typically much better quality per second on large graphs. Honoured by
 	// the methods GET /v1/methods marks "multilevel"; ignored by the rest.
 	Multilevel bool `json:"multilevel,omitempty"`
+	// MemeticCrossover upgrades the genetic algorithm's crossover to the
+	// cut-protecting V-cycle recombination (offspring never worse than the
+	// better parent). Honoured by the methods GET /v1/methods marks
+	// "memetic"; ignored by the rest. Takes precedence over multilevel.
+	MemeticCrossover bool `json:"memetic_crossover,omitempty"`
 	// CoarsenTo is the V-cycle coarsening cutoff in vertices (0 = a default
-	// scaled to k); meaningful only with multilevel.
+	// scaled to k); meaningful with multilevel or memetic_crossover.
 	CoarsenTo int `json:"coarsen_to,omitempty"`
 
 	// Wait selects synchronous (default) or asynchronous handling. With
@@ -196,6 +201,8 @@ func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) 
 		Multilevel:  r.Multilevel,
 		CoarsenTo:   r.CoarsenTo,
 		WarmStart:   r.WarmStart,
+
+		MemeticCrossover: r.MemeticCrossover,
 	}
 	if maxParallelism > 0 && opt.Parallelism > maxParallelism {
 		opt.Parallelism = maxParallelism
@@ -264,8 +271,12 @@ func cacheKey(digest string, opt ff.Options) string {
 	if opt.Multilevel {
 		ml = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%s",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo, warmTag(opt))
+	mem := 0
+	if opt.MemeticCrossover {
+		mem = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo, mem, warmTag(opt))
 }
 
 // exchangeKey pairs fanned-out federated jobs across islands: the graph
@@ -279,6 +290,10 @@ func exchangeKey(digest string, opt ff.Options) string {
 	if opt.Multilevel {
 		ml = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%s",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo, warmTag(opt))
+	mem := 0
+	if opt.MemeticCrossover {
+		mem = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo, mem, warmTag(opt))
 }
