@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 		memprof = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		upload  = fs.String("upload", "", "store: also upload the bench instance to this ffserve URL and time remote admission")
 		graphID = fs.String("graph-id", "", "store: reuse this stored-graph id on the -upload server instead of uploading")
+		jsonOut = fs.Bool("json", false, "anneal/memetic/store: emit one machine-readable JSON object instead of text")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
@@ -91,14 +93,14 @@ func main() {
 	// comparable to the committed baseline; -cpuprofile then shows whether
 	// the proposal loop is flat (no frame outside scoring above 20%).
 	if cmd == "anneal" {
-		runAnnealSteps(*k, *seed, *budget)
+		runAnnealSteps(*k, *seed, *budget, *jsonOut)
 		return
 	}
 
 	// The store probe runs on the BENCH_store.json instance so its admission
 	// ratios are directly comparable to the committed baseline.
 	if cmd == "store" {
-		runStoreBench(*seed, *upload, *graphID)
+		runStoreBench(*seed, *upload, *graphID, *jsonOut)
 		return
 	}
 
@@ -110,8 +112,11 @@ func main() {
 		if parallelism == 0 {
 			parallelism = runtime.GOMAXPROCS(0)
 		}
-		runMemeticBench(*k, *seed, *budget, parallelism)
+		runMemeticBench(*k, *seed, *budget, parallelism, *jsonOut)
 		return
+	}
+	if *jsonOut {
+		fatal(fmt.Errorf("%s does not support -json (anneal, memetic, and store do)", cmd))
 	}
 
 	g, err := instance(*scale, *seed)
@@ -197,13 +202,26 @@ func instance(scale string, seed int64) (*graph.Graph, error) {
 	return nil, fmt.Errorf("unknown scale %q", scale)
 }
 
+// emitJSON marshals one result object to stdout — the -json contract shared
+// by the anneal/memetic/store probes, so CI and tuning scripts can consume
+// the figures without scraping the human-readable tables.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
 // runAnnealSteps times the simulated-annealing proposal loop end to end on
 // the 10k-vertex random-geometric graph the committed BENCH_anneal.json is
 // measured on (percolation init and auto-temperature probe included).
-func runAnnealSteps(k int, seed int64, budget time.Duration) {
+func runAnnealSteps(k int, seed int64, budget time.Duration, jsonOut bool) {
 	g := graph.RandomGeometric(10_000, 0.02, 1)
-	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d\n",
-		g.NumVertices(), g.NumEdges(), k, seed)
+	if !jsonOut {
+		fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d\n",
+			g.NumVertices(), g.NumEdges(), k, seed)
+	}
 	if budget == 0 {
 		budget = 5 * time.Second // freezing restarts: sustained hot/cold cycles
 	}
@@ -214,6 +232,27 @@ func runAnnealSteps(k int, seed int64, budget time.Duration) {
 		fatal(err)
 	}
 	elapsed := time.Since(start).Seconds()
+	if jsonOut {
+		emitJSON(struct {
+			Graph    string  `json:"graph"`
+			Vertices int     `json:"vertices"`
+			Edges    int     `json:"edges"`
+			K        int     `json:"k"`
+			Seed     int64   `json:"seed"`
+			BudgetS  float64 `json:"budget_s"`
+			Steps    int     `json:"steps"`
+			ElapsedS float64 `json:"elapsed_s"`
+			StepsPS  float64 `json:"steps_per_s"`
+			Mcut     float64 `json:"mcut"`
+		}{
+			Graph:    "RandomGeometric(10000, 0.02, seed 1)",
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			K: k, Seed: seed, BudgetS: budget.Seconds(),
+			Steps: res.Steps, ElapsedS: elapsed,
+			StepsPS: float64(res.Steps) / elapsed, Mcut: res.Energy,
+		})
+		return
+	}
 	fmt.Printf("anneal: %d steps in %.2fs = %.0f steps/s; best Mcut %.6f\n",
 		res.Steps, elapsed, float64(res.Steps)/elapsed, res.Energy)
 }
@@ -222,13 +261,15 @@ func runAnnealSteps(k int, seed int64, budget time.Duration) {
 // BENCH_memetic.json on its acceptance instance: flat crossover, the GA
 // inside a multilevel V-cycle, and memetic cut-protecting V-cycle
 // recombination — all at the same wall-clock budget and portfolio width.
-func runMemeticBench(k int, seed int64, budget time.Duration, parallelism int) {
+func runMemeticBench(k int, seed int64, budget time.Duration, parallelism int, jsonOut bool) {
 	g := graph.RandomGeometric(10_000, 0.02, 1)
 	if budget == 0 {
 		budget = 4 * time.Second
 	}
-	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d, budget %s, width %d\n\n",
-		g.NumVertices(), g.NumEdges(), k, seed, budget, parallelism)
+	if !jsonOut {
+		fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges; k = %d, seed = %d, budget %s, width %d\n\n",
+			g.NumVertices(), g.NumEdges(), k, seed, budget, parallelism)
+	}
 	spec, err := experiments.MethodByName("Genetic algorithm")
 	if err != nil {
 		fatal(err)
@@ -245,17 +286,54 @@ func runMemeticBench(k int, seed int64, budget time.Duration, parallelism int) {
 		{"multilevel V-cycle GA", func(c *experiments.RunConfig) { c.Multilevel = true }},
 		{"memetic recombination", func(c *experiments.RunConfig) { c.MemeticCrossover = true }},
 	}
-	fmt.Printf("%-24s %10s %10s\n", "genetic variant", "Mcut", "elapsed")
+	type variantResult struct {
+		Name     string  `json:"name"`
+		Mcut     float64 `json:"mcut,omitempty"`
+		ElapsedS float64 `json:"elapsed_s,omitempty"`
+		Error    string  `json:"error,omitempty"`
+	}
+	var results []variantResult
+	if !jsonOut {
+		fmt.Printf("%-24s %10s %10s\n", "genetic variant", "Mcut", "elapsed")
+	}
 	for _, v := range variants {
 		cfg := base
 		v.mod(&cfg)
 		start := time.Now()
 		res, err := spec.Run(context.Background(), g, k, cfg)
 		if err != nil {
-			fmt.Printf("%-24s ERROR: %v\n", v.name, err)
+			if jsonOut {
+				results = append(results, variantResult{Name: v.name, Error: err.Error()})
+			} else {
+				fmt.Printf("%-24s ERROR: %v\n", v.name, err)
+			}
 			continue
 		}
-		fmt.Printf("%-24s %10.4f %10s\n", v.name, objective.MCut.Evaluate(res.P), time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if jsonOut {
+			results = append(results, variantResult{
+				Name: v.name, Mcut: objective.MCut.Evaluate(res.P), ElapsedS: elapsed.Seconds(),
+			})
+		} else {
+			fmt.Printf("%-24s %10.4f %10s\n", v.name, objective.MCut.Evaluate(res.P), elapsed.Round(time.Millisecond))
+		}
+	}
+	if jsonOut {
+		emitJSON(struct {
+			Graph       string          `json:"graph"`
+			Vertices    int             `json:"vertices"`
+			Edges       int             `json:"edges"`
+			K           int             `json:"k"`
+			Seed        int64           `json:"seed"`
+			BudgetS     float64         `json:"budget_s"`
+			Parallelism int             `json:"parallelism"`
+			Variants    []variantResult `json:"variants"`
+		}{
+			Graph:    "RandomGeometric(10000, 0.02, seed 1)",
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			K: k, Seed: seed, BudgetS: budget.Seconds(),
+			Parallelism: parallelism, Variants: results,
+		})
 	}
 }
 
@@ -325,6 +403,7 @@ func usage() {
 flags: -k N -seed N -budget DUR -scale paper|small -parallelism N
        -multilevel -coarsen-to N   (table1 and variance only)
        -upload URL -graph-id ID    (store only: remote admission timing)
+       -json                       (anneal, memetic, store: machine-readable output)
        -cpuprofile FILE -memprofile FILE   (pprof profiles of the run)`)
 	os.Exit(2)
 }

@@ -21,17 +21,21 @@ import (
 // from). With -upload it also exercises a live ffserve end to end: upload
 // the instance, then compare inline submission latency against
 // submission by stored id.
-func runStoreBench(seed int64, uploadURL, graphID string) {
+func runStoreBench(seed int64, uploadURL, graphID string, jsonOut bool) {
 	g := graph.RandomGeometric(10_000, 0.02, 1)
-	fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges\n\n",
-		g.NumVertices(), g.NumEdges())
+	if !jsonOut {
+		fmt.Printf("instance: RandomGeometric(10000, 0.02, seed 1): %d vertices, %d edges\n\n",
+			g.NumVertices(), g.NumEdges())
+	}
 
 	var metis strings.Builder
 	if err := ff.WriteMETIS(&metis, g); err != nil {
 		fatal(err)
 	}
 	bin := graph.EncodeBinary(g)
-	fmt.Printf("encodings:  METIS text %d bytes, binary CSR %d bytes\n", metis.Len(), len(bin))
+	if !jsonOut {
+		fmt.Printf("encodings:  METIS text %d bytes, binary CSR %d bytes\n", metis.Len(), len(bin))
+	}
 
 	const reps = 7
 	parse := bestOf(reps, func() {
@@ -69,14 +73,50 @@ func runStoreBench(seed int64, uploadURL, graphID string) {
 		}
 	})
 
+	var remote *remoteStoreResult
+	if uploadURL != "" {
+		remote = remoteStoreBench(uploadURL, graphID, g, metis.String(), seed, jsonOut)
+	}
+
+	if jsonOut {
+		emitJSON(struct {
+			Graph         string             `json:"graph"`
+			Vertices      int                `json:"vertices"`
+			Edges         int                `json:"edges"`
+			MetisBytes    int                `json:"metis_bytes"`
+			BinaryBytes   int                `json:"binary_bytes"`
+			ParseS        float64            `json:"metis_parse_s"`
+			DecodeS       float64            `json:"binary_decode_s"`
+			DiskOpenS     float64            `json:"disk_reload_s"`
+			MemGetS       float64            `json:"store_memory_hit_s"`
+			DecodeSpeedup float64            `json:"binary_decode_speedup"`
+			DiskSpeedup   float64            `json:"disk_reload_speedup"`
+			MemSpeedup    float64            `json:"store_memory_hit_speedup"`
+			StoredID      string             `json:"stored_id"`
+			Remote        *remoteStoreResult `json:"remote,omitempty"`
+		}{
+			Graph:    "RandomGeometric(10000, 0.02, seed 1)",
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			MetisBytes: metis.Len(), BinaryBytes: len(bin),
+			ParseS: parse.Seconds(), DecodeS: decode.Seconds(),
+			DiskOpenS: diskOpen.Seconds(), MemGetS: memGet.Seconds(),
+			DecodeSpeedup: ratio(parse, decode),
+			DiskSpeedup:   ratio(parse, diskOpen),
+			MemSpeedup:    ratio(parse, memGet),
+			StoredID:      id, Remote: remote,
+		})
+		return
+	}
+
 	fmt.Printf("admission:  METIS parse+build   %12s\n", parse)
 	fmt.Printf("            binary decode       %12s   (%.1fx faster)\n", decode, ratio(parse, decode))
 	fmt.Printf("            disk reload         %12s   (%.1fx faster)\n", diskOpen, ratio(parse, diskOpen))
 	fmt.Printf("            store memory hit    %12s   (%.0fx faster)\n", memGet, ratio(parse, memGet))
 	fmt.Printf("stored id:  %s\n", id)
-
-	if uploadURL != "" {
-		remoteStoreBench(uploadURL, graphID, g, metis.String(), seed)
+	if remote != nil {
+		fmt.Printf("remote:     inline METIS job    %12s\n", time.Duration(remote.InlineS*float64(time.Second)))
+		fmt.Printf("            stored-id job       %12s   (%.1fx faster)\n",
+			time.Duration(remote.ByIDS*float64(time.Second)), remote.Speedup)
 	}
 }
 
@@ -100,11 +140,21 @@ func ratio(slow, fast time.Duration) float64 {
 	return float64(slow) / float64(fast)
 }
 
+// remoteStoreResult carries the live-ffserve admission comparison back to
+// runStoreBench, which owns both output formats.
+type remoteStoreResult struct {
+	URL     string  `json:"url"`
+	ID      string  `json:"id"`
+	InlineS float64 `json:"inline_metis_job_s"`
+	ByIDS   float64 `json:"stored_id_job_s"`
+	Speedup float64 `json:"stored_id_speedup"`
+}
+
 // remoteStoreBench uploads the instance to a running ffserve and compares
 // submit-to-result latency for inline METIS vs stored-graph-id submission
 // of a cheap deterministic job (the solver cost is identical, so the delta
 // is pure admission).
-func remoteStoreBench(url, graphID string, g *graph.Graph, metis string, seed int64) {
+func remoteStoreBench(url, graphID string, g *graph.Graph, metis string, seed int64, jsonOut bool) *remoteStoreResult {
 	base := strings.TrimRight(url, "/")
 	id := graphID
 	if id == "" {
@@ -127,7 +177,9 @@ func remoteStoreBench(url, graphID string, g *graph.Graph, metis string, seed in
 			fatal(fmt.Errorf("upload to %s failed: %v %s", base, err, up.Error))
 		}
 		id = up.ID
-		fmt.Printf("\nuploaded to %s as %s\n", base, id)
+		if !jsonOut {
+			fmt.Printf("\nuploaded to %s as %s\n", base, id)
+		}
 	}
 
 	submit := func(body map[string]any) time.Duration {
@@ -161,6 +213,9 @@ func remoteStoreBench(url, graphID string, g *graph.Graph, metis string, seed in
 	}
 	tInline := submit(inline)
 	tByID := submit(byID)
-	fmt.Printf("remote:     inline METIS job    %12s\n", tInline)
-	fmt.Printf("            stored-id job       %12s   (%.1fx faster)\n", tByID, ratio(tInline, tByID))
+	return &remoteStoreResult{
+		URL: base, ID: id,
+		InlineS: tInline.Seconds(), ByIDS: tByID.Seconds(),
+		Speedup: ratio(tInline, tByID),
+	}
 }

@@ -54,6 +54,7 @@ func buildRequest(spec server.GraphSpec, opt ff.Options, timeout time.Duration, 
 		Seed:      opt.Seed,
 		MaxSteps:  opt.MaxSteps,
 		WarmStart: opt.WarmStart,
+		Relayout:  opt.Relayout,
 		Federate:  federate,
 	}
 	if opt.Budget > 0 {

@@ -62,6 +62,7 @@ func main() {
 		graphID   = flag.String("graph-id", "", "partition a stored graph by content id (needs -server or -islands)")
 		upload    = flag.Bool("upload", false, "upload the input graph to -server's store, print its content id, and exit")
 		warmFile  = flag.String("warm-start", "", "seed the solve with a partition file (one part id per line, as written by -out); metaheuristics only")
+		relayout  = flag.Bool("relayout", false, "renumber the graph with the locality ordering before solving (cache-friendlier hot path; parts map back to input numbering)")
 	)
 	flag.Parse()
 
@@ -115,6 +116,7 @@ func main() {
 		Seed: *seed, Budget: *budget, MaxSteps: *steps,
 		Parallelism: parallelism,
 		Multilevel: *multi, CoarsenTo: *coarsenTo,
+		Relayout: *relayout,
 
 		MemeticCrossover: *memetic,
 	}

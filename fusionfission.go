@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/objective"
+	"repro/internal/order"
 	"repro/internal/partition"
 	"repro/internal/refine"
 	"repro/internal/vcycle"
@@ -248,6 +249,20 @@ type Options struct {
 	// V-cycle solves the coarsest graph, where a fine assignment is
 	// meaningless.
 	WarmStart []int32 `json:"warm_start,omitempty"`
+	// Relayout renumbers the graph with the locality ordering
+	// (internal/order, degree-descending BFS windows) before the solve, so
+	// the solver's per-proposal adjacency walks touch cache-adjacent ids
+	// instead of the caller's arbitrary numbering. Purely a renumbering:
+	// warm starts are permuted in, the result's Parts are mapped back to the
+	// caller's vertex ids, and every partition statistic is unchanged
+	// through the map (the relayout-invariance property suite pins this
+	// bit-for-bit). Trajectories of stochastic methods differ from a
+	// non-relayout run of the same seed — the proposal stream walks a
+	// different numbering — so the flag is part of the request identity
+	// (server cache and island-exchange keys include it); islands federate
+	// correctly because the ordering is a deterministic function of the
+	// graph, giving every island the same renumbering.
+	Relayout bool `json:"relayout,omitempty"`
 	// Island is this process's island index in a federated fleet (0-based).
 	// It offsets worker-seed derivation by Island*Parallelism — so islands
 	// sharing a base seed search disjoint random streams — and breaks
@@ -406,6 +421,10 @@ type Result struct {
 	// (Options.WarmStart): the result is never worse than the repaired seed
 	// under the target objective.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Relayout reports that the solve ran on the locality-relabeled graph
+	// (Options.Relayout); Parts is always in the caller's vertex numbering
+	// regardless.
+	Relayout bool `json:"relayout,omitempty"`
 }
 
 // HierarchyStats is the shape of a multilevel run's coarsening hierarchy,
@@ -484,6 +503,30 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 		mon = NewMonitor()
 	}
 	start := time.Now()
+	// Relayout: solve on the locality-relabeled graph and translate at the
+	// boundaries — the warm seed is permuted in, the final Parts are mapped
+	// back through the inverse permutation below. Everything in between
+	// (repair, solver, floor guarantee, statistics) runs in relabeled ids;
+	// the scores are invariant under the renumbering, so no comparison
+	// changes meaning. The relabeling cost is charged against the budget
+	// like V-cycle coarsening is.
+	var relayoutInv []int32
+	if opt.Relayout {
+		perm := order.Locality(g)
+		rg, err := graph.Relabel(g, perm)
+		if err != nil {
+			return nil, fmt.Errorf("fusionfission: relayout: %w", err)
+		}
+		if len(opt.WarmStart) > 0 {
+			ws := make([]int32, len(opt.WarmStart))
+			for v, a := range opt.WarmStart {
+				ws[perm[v]] = a
+			}
+			opt.WarmStart = ws
+		}
+		g = rg
+		relayoutInv = order.Inverse(perm)
+	}
 	// A warm start is repaired before the solve: refine.KWay moves boundary
 	// vertices until the seed is locally optimal again (it never empties or
 	// creates parts and never worsens the objective), so the solver starts
@@ -523,6 +566,16 @@ func PartitionMonitored(ctx context.Context, g *Graph, opt Options, mon *Monitor
 		p = warmSeed
 	}
 	res := resultFrom(p, opt.Method, time.Since(start))
+	if relayoutInv != nil {
+		// Back to caller numbering: relabeled vertex nv is the caller's
+		// inverse[nv], and part ids are untouched by the renumbering.
+		parts := make([]int32, len(res.Parts))
+		for nv, a := range res.Parts {
+			parts[relayoutInv[nv]] = a
+		}
+		res.Parts = parts
+		res.Relayout = true
+	}
 	res.Workers = run.Workers
 	res.Hierarchy = run.Hierarchy
 	res.ExchangeRounds = mon.ExchangeRounds()

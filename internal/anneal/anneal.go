@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
 	"repro/internal/engine"
+	"repro/internal/fastmath"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -199,12 +202,34 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 	unitVW := g.UnitVertexWeights()
 
 	t := opt.TMax
+	// invT and hot are pure functions of t, recomputed only when it changes
+	// (cooling, freezing restart): the Metropolis test multiplies by the
+	// reciprocal instead of dividing, and the hot/cold phase branch — a float
+	// compare whose outcome flips a handful of times per run — moves out of
+	// the per-proposal path entirely.
+	invT := 1 / t
+	hot := hotPhase(t, opt)
 	refused := 0
 	// Reusable candidate scratch for chooseTarget (same timestamp-mark
 	// pattern as refine.KWay): the cold-phase target draw runs once per
 	// proposal, and a per-proposal map allocation would dominate now that
 	// the evaluation itself is O(deg).
 	scratch := &targetScratch{mark: make([]int64, cur.Capacity())}
+	// Proposal vertices are drawn batchSize at a time into a fixed buffer
+	// from a dedicated splitmix64 stream seeded off the main generator: the
+	// refill runs a tight register-resident loop of three xor-multiply
+	// rounds per draw instead of re-entering math/rand between every
+	// adjacency scan, and it doubles as a prefetch sweep that touches each
+	// upcoming vertex's adjacency lines while the loads can still overlap
+	// (issued back to back, nothing downstream depends on them — the
+	// evaluation loop's own loads are serialized against accept/reject
+	// branches). The refill point depends only on the step index and n, so
+	// the vertex stream is a pure function of the run seed; FF_NOBATCH
+	// consumes the identical stream and skips only the prefetch, keeping
+	// trajectories bit-identical to the batched path.
+	prop := rng.NewSplitmix(r.Uint64())
+	var batch [proposalBatchSize]int32
+	batchPos := proposalBatchSize
 	for loop.Next() {
 		// A portfolio peer's strictly better incumbent (delivered at the
 		// step-indexed exchange that just ran inside Next) replaces the
@@ -234,14 +259,34 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			tr.Rebuild()
 			curE = tr.Value()
 			t = opt.TMax
+			invT = 1 / t
+			hot = hotPhase(t, opt)
 			refused = 0
 		}
-		v := r.Intn(n)
+		if batchPos == proposalBatchSize {
+			for i := range batch {
+				batch[i] = int32(prop.Intn(n))
+			}
+			if useBatch {
+				prefetchAdjacency(g, batch[:])
+			}
+			batchPos = 0
+		}
+		v := int(batch[batchPos])
+		batchPos++
 		from := cur.Part(v)
 		if cur.PartSize(from) <= 1 {
 			continue // never empty a part: k is fixed for SA
 		}
-		to := chooseTarget(cur, v, t, opt, scratch, r)
+		// chooseTarget's two branches, with the phase test hoisted to the
+		// temperature updates and the hot branch reusing the `from` already
+		// in hand (chooseTarget reloads Part(v); same value by definition).
+		var to int
+		if hot {
+			to = cur.MinInternalPart(from)
+		} else {
+			to = coldTarget(cur, v, scratch, r)
+		}
 		if to < 0 || to == from {
 			continue
 		}
@@ -258,8 +303,10 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 		delta := tr.MoveDelta(v, from, to)
 		accept := delta <= 0
 		if !accept {
-			// Boltzmann: exp((e(s)-e(s'))/T) vs uniform draw.
-			accept = r.Float64() < boltzmann(-delta, t)
+			// Boltzmann: exp((e(s)-e(s'))/T) vs uniform draw, both from the
+			// proposal stream — the uphill test runs nearly every hot-phase
+			// step, so it shares the cheap generator with the vertex draw.
+			accept = prop.Float64() < boltzmann(-delta, invT)
 		}
 		if accept {
 			tr.Apply(v, to)
@@ -273,6 +320,8 @@ func PartitionContext(ctx context.Context, g *graph.Graph, k int, opt Options) (
 			refused++
 			if refused >= opt.RefusalLimit {
 				t *= opt.CoolRatio // equilibrium reached: cool
+				invT = 1 / t
+				hot = hotPhase(t, opt)
 				refused = 0
 			}
 		}
@@ -313,9 +362,22 @@ type targetScratch struct {
 // O(k) PartInternalOrdered sweep), and the cold draw reuses the
 // timestamp-mark scratch.
 func chooseTarget(p *partition.P, v int, t float64, opt Options, s *targetScratch, r *rand.Rand) int {
-	if opt.HighTempFraction > 0 && t > opt.TMax*opt.HighTempFraction {
+	if hotPhase(t, opt) {
 		return p.MinInternalPart(p.Part(v))
 	}
+	return coldTarget(p, v, s, r)
+}
+
+// hotPhase reports whether temperature t selects the high-temperature
+// "feed the starving part" target. The Metropolis loop evaluates it only
+// when t changes; chooseTarget keeps it inline for per-call users.
+func hotPhase(t float64, opt Options) bool {
+	return opt.HighTempFraction > 0 && t > opt.TMax*opt.HighTempFraction
+}
+
+// coldTarget draws a random part among those v is connected to — the
+// low-temperature branch of chooseTarget.
+func coldTarget(p *partition.P, v int, s *targetScratch, r *rand.Rand) int {
 	// Random part among those v is connected to. The neighbor scan reads
 	// the int16 assignment mirror when one exists — same reasoning as the
 	// scoring scan: half the footprint, no per-read accessor branch.
@@ -357,15 +419,55 @@ func chooseTarget(p *partition.P, v int, t float64, opt Options, s *targetScratc
 	return cands[r.Intn(len(cands))]
 }
 
-func boltzmann(deltaNeg, t float64) float64 {
-	if t <= 0 {
-		return 0
+// proposalBatchSize is how many proposal vertices each RNG refill draws.
+// One batch of int32 ids is a single cache line — large enough to amortize
+// the refill branch and give the prefetch sweep a useful window, small
+// enough that the prefetched lines are still resident when their proposal
+// comes up.
+const proposalBatchSize = 64
+
+// useBatch gates the prefetch sweep of the proposal batch, probed once at
+// startup. The batch *draw* is not gated — it defines the RNG schedule and
+// therefore the trajectory — so FF_NOBATCH=1 changes no results, it only
+// routes the hot path through the plain loads (and, via the score and
+// refine packages, the scalar kernels) for bisecting a suspected
+// batching/SIMD artifact.
+var useBatch = os.Getenv("FF_NOBATCH") == ""
+
+// prefetchSink keeps the prefetch loads observable so the compiler cannot
+// delete the sweep. Portfolio workers prefetch concurrently, so the sink
+// must be written atomically — one add per 64-proposal batch, invisible
+// next to the cache misses the sweep exists to overlap.
+var prefetchSink atomic.Int64
+
+// prefetchAdjacency touches the first and last adjacency entries of every
+// vertex in the batch — one or two cache lines per vertex at the degrees
+// the paper instances run, loaded back to back with no dependent work, so
+// the misses overlap instead of serializing against the evaluation loop's
+// accept/reject logic.
+func prefetchAdjacency(g *graph.Graph, batch []int32) {
+	var s int64
+	for _, v := range batch {
+		nb := g.Neighbors(int(v))
+		if len(nb) > 0 {
+			s += int64(nb[0]) + int64(nb[len(nb)-1])
+		}
 	}
-	x := deltaNeg / t // negative for uphill moves
-	if x < -700 {
-		return 0
+	prefetchSink.Add(s)
+}
+
+// boltzmann evaluates the Metropolis acceptance probability exp(deltaNeg/T)
+// from the reciprocal temperature: callers precompute invT = 1/t when the
+// temperature changes, so the near-every-step uphill test multiplies instead
+// of paying a float division.
+func boltzmann(deltaNeg, invT float64) float64 {
+	x := deltaNeg * invT // negative for uphill moves
+	if !(x > -700) {
+		return 0 // underflow clamp; also rejects NaN (t <= 0 or frozen)
 	}
-	return math.Exp(x)
+	// fastmath.Exp: same clamped range, a few 1e-12 relative of math.Exp
+	// (FF_EXACTEXP=1 restores the exact kernel).
+	return fastmath.Exp(x)
 }
 
 // autoTemperature estimates the typical |energy delta| of a random move by

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fastmath"
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
@@ -278,7 +279,7 @@ func (s *search) drawFission(atom int, t float64) bool {
 	}
 	var pFission float64
 	if opt.Choice == ChoiceSigmoid {
-		pFission = 1 / (1 + math.Exp(-2*alpha*(x-nBar)))
+		pFission = sigmoidChoice(alpha, x, nBar)
 	} else {
 		switch half := 1 / (2 * alpha); {
 		case x > nBar+half:
@@ -296,6 +297,29 @@ func (s *search) drawFission(atom int, t float64) bool {
 		return false // singletons cannot split
 	}
 	return s.r.Float64() < pFission
+}
+
+// sigmoidChoice is the ChoiceSigmoid fission probability
+// 1/(1+exp(-2 alpha (x-nBar))), with the exponent clamped before the
+// exponential is evaluated: the former inline math.Exp was unguarded, so a
+// large cold-phase alpha on a far-oversized atom drove the argument past the
+// overflow threshold and the probability silently through Inf arithmetic.
+// |z| > 700 now short-circuits to the saturated 0/1 the sigmoid converges
+// to, and a NaN argument (degenerate alpha) keeps the legacy
+// "comparison-with-NaN never fissions" behavior explicitly. The interior
+// uses fastmath.Exp (FF_EXACTEXP=1 restores math.Exp); the default Choice is
+// the paper's piecewise-linear law, so golden trajectories are unaffected.
+func sigmoidChoice(alpha, x, nBar float64) float64 {
+	z := -2 * alpha * (x - nBar)
+	switch {
+	case math.IsNaN(z):
+		return 0 // never fission, as the old NaN-poisoned compare decided
+	case z > 700:
+		return 0 // exp overflows: sigmoid saturated at 0
+	case z < -700:
+		return 1 // exp underflows: sigmoid saturated at 1
+	}
+	return 1 / (1 + fastmath.Exp(z))
 }
 
 // doFission breaks the atom with percolation, ejects nucleons per the law,

@@ -320,3 +320,40 @@ func TestPartitionContextCancelReturnsBestSoFar(t *testing.T) {
 		t.Fatalf("best-so-far invalid: %+v", res.Best)
 	}
 }
+
+// TestSigmoidChoiceClamped is the regression test for the formerly unguarded
+// sigmoid exponential: extreme alpha/size combinations must saturate to
+// exact 0 or 1 instead of flowing through Inf arithmetic, NaN must fall back
+// to "never fission", and the interior must stay a true sigmoid.
+func TestSigmoidChoiceClamped(t *testing.T) {
+	nBar := 100.0
+	if p := sigmoidChoice(1e6, 1e6, nBar); p != 1 {
+		t.Errorf("oversized atom, sharp alpha: pFission = %v, want saturated 1", p)
+	}
+	if p := sigmoidChoice(1e6, 1, nBar); p != 0 {
+		t.Errorf("undersized atom, sharp alpha: pFission = %v, want saturated 0", p)
+	}
+	if p := sigmoidChoice(math.Inf(1), nBar, nBar); p != 0 {
+		t.Errorf("NaN exponent: pFission = %v, want the legacy never-fission 0", p)
+	}
+	if p := sigmoidChoice(0.05, nBar, nBar); p != 0.5 {
+		t.Errorf("balanced atom: pFission = %v, want exactly 0.5", p)
+	}
+	// Interior: monotone in x, bounded in (0, 1), and within the fastmath
+	// error of the closed form.
+	prev := -1.0
+	for x := 60.0; x <= 140; x += 5 {
+		p := sigmoidChoice(0.05, x, nBar)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("interior x=%v escaped (0,1): %v", x, p)
+		}
+		if p <= prev {
+			t.Fatalf("sigmoid not strictly increasing at x=%v: %v <= %v", x, p, prev)
+		}
+		prev = p
+		want := 1 / (1 + math.Exp(-2*0.05*(x-nBar)))
+		if math.Abs(p-want) > 1e-9*want {
+			t.Fatalf("x=%v: sigmoidChoice %v vs closed form %v", x, p, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import "fmt"
+
+// Relabel returns a graph isomorphic to g with vertex v renumbered to
+// perm[v]. Edge weights, vertex weights and self-loops ride along, so every
+// partition statistic of an assignment maps through the permutation
+// unchanged; the unit-weight fast-path flags are re-detected from the same
+// values and therefore survive. perm must be a bijection on the vertex ids
+// (order.IsPermutation).
+//
+// The relabeled graph is built through Builder, which re-sorts each
+// adjacency list into ascending neighbor order — exactly the invariant the
+// locality orderings in internal/order are chosen to exploit: after
+// relabeling with order.Locality, ascending neighbor ids are also
+// cache-adjacent ids.
+func Relabel(g *Graph, perm []int32) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: relabel permutation has %d entries for %d vertices", len(perm), n)
+	}
+	// Validate the bijection up front: a duplicated target would otherwise
+	// silently merge two distinct vertices' edges into one adjacency.
+	seen := make([]bool, n)
+	for v, p := range perm {
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("graph: relabel maps vertex %d to out-of-range id %d", v, p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("graph: relabel maps two vertices to id %d", p)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	b.Reserve(g.NumEdges())
+	g.ForEachEdge(func(u, v int, w float64) {
+		b.AddEdge(int(perm[u]), int(perm[v]), w)
+	})
+	if !g.UnitVertexWeights() {
+		for v := 0; v < n; v++ {
+			b.SetVertexWeight(int(perm[v]), g.VertexWeight(v))
+		}
+	}
+	if g.HasLoops() {
+		for v := 0; v < n; v++ {
+			if lw := g.VertexLoop(v); lw != 0 {
+				b.AddSelfLoop(int(perm[v]), lw)
+			}
+		}
+	}
+	return b.Build()
+}

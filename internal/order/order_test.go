@@ -1,0 +1,262 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// randomTestGraph builds a random graph with exactly representable (dyadic)
+// edge and vertex weights, optional self-loops. Dyadic weights make every
+// per-part accumulation exact regardless of summation order, which is what
+// lets the invariance properties below demand bit-identical scores rather
+// than scores-within-epsilon.
+func randomTestGraph(seed int64) *graph.Graph {
+	r := rng.New(seed)
+	n := 8 + r.Intn(60)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.15 {
+				b.AddEdge(u, v, float64(1+r.Intn(16))/8)
+			}
+		}
+	}
+	// Guarantee connectivity is NOT required by relayout — leave isolated
+	// vertices and multiple components as they fall.
+	if seed%2 == 0 {
+		for v := 0; v < n; v += 3 {
+			b.SetVertexWeight(v, float64(1+r.Intn(8))/4)
+		}
+	}
+	if seed%3 == 0 {
+		for v := 0; v < n; v += 4 {
+			b.AddSelfLoop(v, float64(1+r.Intn(8))/2)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestLocalityIsPermutation: the ordering must be a bijection covering every
+// vertex, including isolated ones and multi-component graphs.
+func TestLocalityIsPermutation(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomTestGraph(seed)
+		perm := Locality(g)
+		if len(perm) != g.NumVertices() || !IsPermutation(perm) {
+			t.Logf("seed %d: Locality is not a permutation", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInverseRoundTrip: Inverse(perm) composed with perm is the identity in
+// both directions.
+func TestInverseRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomTestGraph(seed)
+		perm := Locality(g)
+		inv := Inverse(perm)
+		for old, p := range perm {
+			if int(inv[p]) != old || perm[inv[p]] != p {
+				t.Logf("seed %d: inverse round trip broken at %d", seed, old)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelabelPreservesStructure: the relabeled graph is isomorphic under
+// perm — degrees, edge weights, vertex weights, self-loops, totals and the
+// unit-weight fast-path flags all carry over exactly.
+func TestRelabelPreservesStructure(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomTestGraph(seed)
+		perm := Locality(g)
+		rg, err := graph.Relabel(g, perm)
+		if err != nil {
+			t.Logf("seed %d: Relabel: %v", seed, err)
+			return false
+		}
+		if rg.NumVertices() != g.NumVertices() || rg.NumEdges() != g.NumEdges() {
+			t.Logf("seed %d: size mismatch", seed)
+			return false
+		}
+		if rg.UnitEdgeWeights() != g.UnitEdgeWeights() || rg.UnitVertexWeights() != g.UnitVertexWeights() {
+			t.Logf("seed %d: unit-weight flags changed", seed)
+			return false
+		}
+		if rg.TotalEdgeWeight() != g.TotalEdgeWeight() || rg.TotalLoopWeight() != g.TotalLoopWeight() {
+			t.Logf("seed %d: totals changed", seed)
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			pv := int(perm[v])
+			if rg.Degree(pv) != g.Degree(v) ||
+				rg.VertexWeight(pv) != g.VertexWeight(v) ||
+				rg.VertexLoop(pv) != g.VertexLoop(v) ||
+				rg.WeightedDegree(pv) != g.WeightedDegree(v) {
+				t.Logf("seed %d: vertex %d stats changed", seed, v)
+				return false
+			}
+		}
+		ok := true
+		g.ForEachEdge(func(u, v int, w float64) {
+			got, exists := rg.EdgeWeight(int(perm[u]), int(perm[v]))
+			if !exists || got != w {
+				t.Logf("seed %d: edge {%d,%d} weight %v -> (%v,%v)", seed, u, v, w, got, exists)
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelabelUnitFlagsSurvive pins the fast-path flags on the two pure
+// cases: a generator-made unit graph keeps both flags through Relabel, and
+// a weighted one keeps them off.
+func TestRelabelUnitFlagsSurvive(t *testing.T) {
+	g := graph.RandomGeometric(400, 0.08, 11)
+	if !g.UnitEdgeWeights() || !g.UnitVertexWeights() {
+		t.Fatal("generator graph expected unit weights")
+	}
+	rg, err := graph.Relabel(g, Locality(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.UnitEdgeWeights() || !rg.UnitVertexWeights() {
+		t.Fatal("unit-weight flags lost through Relabel")
+	}
+}
+
+// TestRelabelRejectsBadPermutations: wrong length, out-of-range targets and
+// duplicated targets must all fail loudly, never merge vertices silently.
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	g := graph.GNP(10, 0.4, 3)
+	if _, err := graph.Relabel(g, make([]int32, 9)); err == nil {
+		t.Error("short permutation accepted")
+	}
+	bad := Locality(g)
+	bad[3] = 42
+	if _, err := graph.Relabel(g, bad); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	dup := Locality(g)
+	dup[3] = dup[4]
+	if _, err := graph.Relabel(g, dup); err == nil {
+		t.Error("duplicated target accepted")
+	}
+}
+
+// TestRelayoutScoresBitIdentical is the core invariance property: for any
+// assignment of the original graph, scoring the permuted assignment on the
+// relabeled graph yields bit-identical per-part statistics and objective
+// values, for every objective. Dyadic weights make all accumulations exact,
+// so this is equality, not tolerance.
+func TestRelayoutScoresBitIdentical(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		g := randomTestGraph(seed)
+		n := g.NumVertices()
+		perm := Locality(g)
+		rg, err := graph.Relabel(g, perm)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		k := 2 + r.Intn(6)
+		assign := make([]int32, n)
+		relabeled := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+			relabeled[perm[v]] = assign[v]
+		}
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			return false
+		}
+		rp, err := partition.FromAssignment(rg, relabeled, k)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < k; a++ {
+			if p.PartSize(a) != rp.PartSize(a) ||
+				p.PartVertexWeight(a) != rp.PartVertexWeight(a) ||
+				p.PartCut(a) != rp.PartCut(a) ||
+				p.PartInternalOrdered(a) != rp.PartInternalOrdered(a) {
+				t.Logf("seed %d: part %d stats diverge through relayout", seed, a)
+				return false
+			}
+		}
+		for _, obj := range []objective.Objective{objective.Cut, objective.NCut, objective.MCut} {
+			if ev, rev := obj.Evaluate(p), obj.Evaluate(rp); ev != rev {
+				t.Logf("seed %d: %v evaluates %v vs %v through relayout", seed, obj, ev, rev)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelayoutMapsBackThroughInverse: a partition found on the relabeled
+// graph, mapped back through the inverse permutation, scores bit-identically
+// on the original graph — the exact contract the facade relies on when it
+// returns relayout results in caller numbering.
+func TestRelayoutMapsBackThroughInverse(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		g := randomTestGraph(seed)
+		n := g.NumVertices()
+		perm := Locality(g)
+		inv := Inverse(perm)
+		rg, err := graph.Relabel(g, perm)
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(6)
+		found := make([]int32, n) // assignment in relabeled ids
+		for v := range found {
+			found[v] = int32(r.Intn(k))
+		}
+		back := make([]int32, n)
+		for nv, a := range found {
+			back[inv[nv]] = a
+		}
+		rp, err := partition.FromAssignment(rg, found, k)
+		if err != nil {
+			return false
+		}
+		p, err := partition.FromAssignment(g, back, k)
+		if err != nil {
+			return false
+		}
+		for _, obj := range []objective.Objective{objective.Cut, objective.NCut, objective.MCut} {
+			if obj.Evaluate(p) != obj.Evaluate(rp) {
+				t.Logf("seed %d: objective diverges mapping back", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

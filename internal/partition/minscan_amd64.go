@@ -7,6 +7,12 @@ import "os"
 // useAVX2 gates the vector argmin kernel, probed once at startup.
 var useAVX2 = x86HasAVX2() && os.Getenv("FF_NOAVX2") == ""
 
+// HasAVX2 reports whether this package's AVX2 kernels are active (CPU+OS
+// support, not disabled via FF_NOAVX2). Sibling packages with their own
+// vector kernels (score's gathered conns sweep) share the probe so one
+// escape hatch governs every hand-written kernel.
+func HasAVX2() bool { return useAVX2 }
+
 // x86HasAVX2 reports whether the CPU and OS support AVX2 with YMM state.
 // Implemented in minscan_amd64.s.
 func x86HasAVX2() bool

@@ -6,6 +6,10 @@ package partition
 // takes the portable minKeyScanGeneric path.
 const useAVX2 = false
 
+// HasAVX2 reports whether this package's AVX2 kernels are active: never, on
+// architectures without them.
+func HasAVX2() bool { return false }
+
 // minKeyScanAVX2 is never called when useAVX2 is false; this stub keeps the
 // portable build compiling.
 func minKeyScanAVX2(p *uint64, n, exclude int) (mk uint64, idx int) {

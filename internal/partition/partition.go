@@ -61,6 +61,15 @@ type P struct {
 	minTrack bool
 	minDirty bool
 	minKey   []uint64
+	// minNarrow selects the composite-key scan: on unit-edge-weight,
+	// loop-free graphs every part's internal weight is an exact small
+	// integer, so (weight << 32 | part id) packs the full lexicographic
+	// (weight, lowest-id) order into one uint64 — the plain min reduction
+	// over minKeyC IS the argmin, with no index-recovery pass and no
+	// vector kernel needed. Weighted or loop-carrying graphs keep the
+	// bit-mapped float keys in minKey and the AVX2 scan.
+	minNarrow bool
+	minKeyC   []uint64
 }
 
 // New returns a partition of g with the given part capacity and every vertex
@@ -78,7 +87,11 @@ func New(g *graph.Graph, capacity int) *P {
 		cut:      make([]float64, capacity),
 	}
 	if capacity <= math.MaxInt16 {
-		p.part16 = make([]int16, g.NumVertices())
+		// One padding entry past the end: the score package's gathered
+		// conns kernel loads 32-bit lanes at part16[u], reading two bytes
+		// beyond the last vertex's entry. The pad keeps that read inside
+		// the allocation without the kernel needing a tail fixup.
+		p.part16 = make([]int16, g.NumVertices()+1)[:g.NumVertices()]
 		for i := range p.part16 {
 			p.part16[i] = Unassigned
 		}
@@ -343,6 +356,9 @@ func (p *P) MinInternalPart(exclude int) int {
 	if !p.minTrack || p.minDirty {
 		p.refillMinKeys()
 	}
+	if p.minNarrow {
+		return p.minCompositeScan(exclude)
+	}
 	keys := p.minKey
 	if useAVX2 && len(keys) >= 8 {
 		// The kernel neutralizes the excluded slot in-register: storing a
@@ -441,6 +457,10 @@ func (p *P) minTouch(a int) {
 	if !p.minTrack || p.minDirty {
 		return
 	}
+	if p.minNarrow {
+		p.minKeyC[a] = p.compositeKeyOf(a)
+		return
+	}
 	if p.size[a] == 0 {
 		p.minKey[a] = emptyMinKey
 	} else {
@@ -454,8 +474,25 @@ func (p *P) minTouch(a int) {
 func (p *P) refillMinKeys() {
 	p.minTrack = true
 	p.minDirty = false
-	if p.minKey == nil {
-		p.minKey = make([]uint64, len(p.size))
+	if p.minKey == nil && p.minKeyC == nil {
+		g := p.g
+		// The composite gate is graph-level and the graph is immutable, so
+		// the choice is made once: integral edge weights summing below
+		// 2^31 keep every internal weight exactly representable in the
+		// high half of the composite.
+		p.minNarrow = g.UnitEdgeWeights() && !g.HasLoops() &&
+			g.TotalEdgeWeight() < float64(1<<31) && len(p.size) <= math.MaxUint32
+		if p.minNarrow {
+			p.minKeyC = make([]uint64, len(p.size))
+		} else {
+			p.minKey = make([]uint64, len(p.size))
+		}
+	}
+	if p.minNarrow {
+		for a := range p.minKeyC {
+			p.minKeyC[a] = p.compositeKeyOf(a)
+		}
+		return
 	}
 	for a := range p.minKey {
 		if p.size[a] == 0 {
@@ -464,6 +501,58 @@ func (p *P) refillMinKeys() {
 			p.minKey[a] = minKeyOf(p.internal[a])
 		}
 	}
+}
+
+// compositeKeyOf packs part a's argmin rank for the narrow path: the
+// integral internal weight in the high 32 bits (the all-ones sentinel for
+// an empty slot) and the part id in the low 32, so uint64 order is the
+// lexicographic (weight, lowest id) order the argmin wants.
+func (p *P) compositeKeyOf(a int) uint64 {
+	if p.size[a] == 0 {
+		return emptyCompositeBase | uint64(a)
+	}
+	return uint64(uint32(p.internal[a]))<<32 | uint64(a)
+}
+
+// emptyCompositeBase is the high half of an empty slot's composite key:
+// larger than any real weight under the narrow gate (weights < 2^31).
+const emptyCompositeBase = uint64(^uint32(0)) << 32
+
+// minCompositeScan is the narrow-path argmin: a branchless four-chain min
+// reduction over the composite (weight<<32 | id) keys. The composite order
+// makes the index recovery free — the low half of the minimum is the part
+// id — so this portable loop beats the vector scan that the wide path
+// needs, on every architecture. The excluded slot is masked by an 8-byte
+// aligned store the immediately following loads forward from cleanly (the
+// wide kernel's store-to-load-stall concern applies to its 32-byte vector
+// loads, not to scalar reloads).
+func (p *P) minCompositeScan(exclude int) int {
+	keys := p.minKeyC
+	masked := exclude >= 0 && exclude < len(keys)
+	var saved uint64
+	if masked {
+		saved = keys[exclude]
+		keys[exclude] = emptyCompositeBase | uint64(exclude)
+	}
+	m0, m1, m2, m3 := ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
+	i := 0
+	for ; i+4 <= len(keys); i += 4 {
+		m0 = min(m0, keys[i])
+		m1 = min(m1, keys[i+1])
+		m2 = min(m2, keys[i+2])
+		m3 = min(m3, keys[i+3])
+	}
+	for ; i < len(keys); i++ {
+		m0 = min(m0, keys[i])
+	}
+	mk := min(min(m0, m1), min(m2, m3))
+	if masked {
+		keys[exclude] = saved
+	}
+	if mk >= emptyCompositeBase {
+		return -1
+	}
+	return int(uint32(mk))
 }
 
 // VerticesOf returns the vertices currently in part a.
@@ -541,7 +630,8 @@ func (p *P) Clone() *P {
 		crossing: p.crossing,
 	}
 	if p.part16 != nil {
-		q.part16 = append([]int16(nil), p.part16...)
+		// Padded like New's allocation for the gathered conns kernel.
+		q.part16 = append(make([]int16, 0, len(p.part16)+1), p.part16...)
 	}
 	return q
 }

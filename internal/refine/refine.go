@@ -12,12 +12,26 @@ package refine
 import (
 	"container/heap"
 	"context"
+	"os"
 
 	"repro/internal/graph"
 	"repro/internal/objective"
 	"repro/internal/partition"
 	"repro/internal/score"
 )
+
+// useBatch gates KWay's batched interior pre-filter, probed once at startup.
+// The pre-filter only skips vertices the per-vertex scan would provably
+// leave unmoved, so FF_NOBATCH=1 changes no results — it routes the sweep
+// through the plain per-vertex path (and, in internal/score, the scalar
+// kernels) for bisecting a suspected batching/SIMD artifact.
+var useBatch = os.Getenv("FF_NOBATCH") == ""
+
+// kwayBatch is the block size of KWay's interior pre-filter: one cache line
+// of verdicts, evaluated in a prefetch-friendly burst over consecutive
+// vertices — after a locality relayout, consecutive vertices are also
+// adjacency-contiguous, so the sweep walks the CSR arrays nearly linearly.
+const kwayBatch = 64
 
 // BisectOptions configures KL and FM.
 type BisectOptions struct {
@@ -528,12 +542,44 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 	cands := make([]int, 0, 16)
 	stamp := int64(0)
 
+	// Batched interior pre-filter: most vertices of a refined partition are
+	// interior (every neighbor in their own part), and the per-vertex loop
+	// below spends its time discovering that one weighted adjacency scan at a
+	// time. Each kwayBatch-aligned block instead runs one compare-only sweep
+	// (score.NeighborsAllIn — the SIMD conns kernel on eligible graphs) whose
+	// verdicts let the sweep skip interior vertices without touching the
+	// stamp/connW bookkeeping. A verdict is trusted only while no move has
+	// been committed since its block was evaluated — a committed move can
+	// turn an interior vertex into a boundary one — so skipped vertices are
+	// exactly those the unbatched scan would have left unmoved, and the
+	// refined partition is bit-identical with the pre-filter on or off
+	// (TestKWayBatchInvariance pins this).
+	var allIn [kwayBatch]bool
+	committed := 0
 	for pass := 0; pass < opt.MaxPasses && !cancelled(opt.Ctx); pass++ {
 		improved := false
+		blockStart := -1
+		blockMoves := 0
 		for v := 0; v < n; v++ {
 			// A pass over a large graph is still long; poll mid-pass too.
 			if v&511 == 0 && cancelled(opt.Ctx) {
 				return cur
+			}
+			if useBatch {
+				if b := v &^ (kwayBatch - 1); b != blockStart {
+					blockStart = b
+					blockMoves = committed
+					end := b + kwayBatch
+					if end > n {
+						end = n
+					}
+					for j := b; j < end; j++ {
+						allIn[j-b] = score.NeighborsAllIn(p, j, p.Part(j))
+					}
+				}
+				if committed == blockMoves && allIn[v-blockStart] {
+					continue // interior: the scan below would find no candidate
+				}
 			}
 			from := p.Part(v)
 			if p.PartSize(from) <= 1 {
@@ -577,6 +623,7 @@ func KWay(p *partition.P, opt KWayOptions) float64 {
 				tr.Apply(v, bestPart)
 				cur = tr.Value()
 				improved = true
+				committed++
 			}
 		}
 		if !improved {

@@ -264,3 +264,54 @@ func TestKWayReturnMatchesEvaluate(t *testing.T) {
 		}
 	}
 }
+
+// TestKWayBatchInvariance pins the contract of KWay's interior pre-filter:
+// the batched sweep (NeighborsAllIn verdicts, SIMD kernel where eligible)
+// skips only vertices the plain per-vertex scan would leave unmoved, so the
+// refined assignment and the returned objective are bit-identical with the
+// pre-filter on or off — the invariant FF_NOBATCH relies on.
+func TestKWayBatchInvariance(t *testing.T) {
+	defer func(old bool) { useBatch = old }(useBatch)
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 40 + r.Intn(200)
+		g := graph.GNP(n, 4/float64(n), seed)
+		k := 2 + r.Intn(6)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+		}
+		for _, obj := range []objective.Objective{objective.Cut, objective.NCut, objective.MCut} {
+			run := func(batched bool) ([]int32, float64) {
+				useBatch = batched
+				p, err := partition.FromAssignment(g, assign, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				val := KWay(p, KWayOptions{Objective: obj})
+				out := make([]int32, n)
+				for v := 0; v < n; v++ {
+					out[v] = int32(p.Part(v))
+				}
+				return out, val
+			}
+			batchedAssign, batchedVal := run(true)
+			plainAssign, plainVal := run(false)
+			if math.Float64bits(batchedVal) != math.Float64bits(plainVal) {
+				t.Logf("seed %d obj %v: value %v batched vs %v plain", seed, obj, batchedVal, plainVal)
+				return false
+			}
+			for v := range batchedAssign {
+				if batchedAssign[v] != plainAssign[v] {
+					t.Logf("seed %d obj %v: vertex %d assigned %d batched vs %d plain",
+						seed, obj, v, batchedAssign[v], plainAssign[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -171,3 +171,48 @@ func BenchmarkWeightedChoice(b *testing.B) {
 }
 
 var benchSink int
+
+// TestSplitmixDeterminismAndRange: same seed, same stream; draws land in
+// [0, n) for awkward bounds; distinct seeds decorrelate immediately.
+func TestSplitmixDeterminismAndRange(t *testing.T) {
+	a, b := NewSplitmix(42), NewSplitmix(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: same seed diverged: %d vs %d", i, x, y)
+		}
+	}
+	c := NewSplitmix(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 42/43 collided on %d of 1000 draws", same)
+	}
+	for _, n := range []int{1, 2, 3, 7, 10000, 1 << 30, 1<<31 - 1} {
+		s := NewSplitmix(7)
+		for i := 0; i < 2000; i++ {
+			if v := s.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+// TestSplitmixIntnCoverage: the reduction must reach every residue of a
+// small modulus with roughly uniform frequency, not alias onto a subset.
+func TestSplitmixIntnCoverage(t *testing.T) {
+	const n, draws = 32, 64000
+	var hist [n]int
+	s := NewSplitmix(2026)
+	for i := 0; i < draws; i++ {
+		hist[s.Intn(n)]++
+	}
+	for v, c := range hist {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("value %d drawn %d times, expected about %d", v, c, draws/n)
+		}
+	}
+}

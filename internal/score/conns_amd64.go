@@ -1,0 +1,22 @@
+//go:build amd64
+
+package score
+
+import (
+	"os"
+
+	"repro/internal/partition"
+)
+
+// useConnsAVX2 gates the gathered conns-count kernel, probed once at
+// startup. It shares partition's CPU probe (and FF_NOAVX2 hatch) so one
+// switch governs every hand-written vector kernel, and additionally honors
+// FF_NOBATCH so the batched-evaluation escape hatch disables the whole
+// SIMD-assisted proposal path as a unit.
+var useConnsAVX2 = partition.HasAVX2() && os.Getenv("FF_NOBATCH") == ""
+
+// connsCountAVX2 counts, over the first n entries of v's neighbor list
+// (n > 0 and divisible by 8), how many neighbors lie in part `from` and in
+// part `to`, reading assignments from the partition's padded int16 mirror.
+// Implemented in conns_amd64.s.
+func connsCountAVX2(nbrs *int32, n int, part *int16, from, to int32) (cntFrom, cntTo int32)

@@ -1,0 +1,65 @@
+// AVX2 kernel for the unit-weight conns count of moveConns: eight
+// neighbors per iteration, their part ids fetched through VPGATHERDD from
+// the partition's int16 mirror and counted against the `from`/`to`
+// broadcasts with branchless compare-subtract accumulators. The gather
+// loads a 32-bit lane at byte offset 2*id, so the last vertex's lane reads
+// two bytes past the mirror's final entry — partition.New and Clone pad
+// the allocation by one entry to keep that read in bounds — and the low-16
+// mask drops the neighboring entry that rides along in the high half.
+// Counts are exact small integers, so any split between this kernel and
+// the scalar tail is bit-identical to the all-scalar loop.
+
+#include "textflag.h"
+
+DATA ·connsLowMask+0(SB)/4, $0x0000ffff
+GLOBL ·connsLowMask(SB), RODATA|NOPTR, $4
+
+// func connsCountAVX2(nbrs *int32, n int, part *int16, from, to int32) (cntFrom, cntTo int32)
+// Requires n > 0, n % 8 == 0, AVX2 (gated by useConnsAVX2), and the padded
+// part mirror described above.
+TEXT ·connsCountAVX2(SB), NOSPLIT, $0-40
+	MOVQ nbrs+0(FP), DI
+	MOVQ n+8(FP), CX
+	MOVQ part+16(FP), SI
+	// Broadcast the two part ids via XMM: vet's asmdecl check rejects a
+	// VPBROADCASTD whose memory operand is a 4-byte argument slot.
+	MOVL from+24(FP), AX
+	MOVL to+28(FP), BX
+	VMOVD AX, X0
+	VMOVD BX, X1
+	VPBROADCASTD X0, Y0
+	VPBROADCASTD X1, Y1
+	VPBROADCASTD ·connsLowMask(SB), Y2
+	VPXOR Y3, Y3, Y3 // from-match counters
+	VPXOR Y4, Y4, Y4 // to-match counters
+loop:
+	VMOVDQU (DI), Y5    // eight neighbor ids
+	VPCMPEQD Y6, Y6, Y6 // gather mask: all lanes (the gather clears it)
+	VPGATHERDD Y6, (SI)(Y5*2), Y7
+	VPAND Y2, Y7, Y7 // isolate each lane's own 16-bit part id
+	VPCMPEQD Y0, Y7, Y8
+	VPCMPEQD Y1, Y7, Y9
+	VPSUBD Y8, Y3, Y3 // matching lanes hold -1: subtracting counts them
+	VPSUBD Y9, Y4, Y4
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  loop
+	// Horizontal sums of the eight per-lane counters.
+	VEXTRACTI128 $1, Y3, X5
+	VPADDD X5, X3, X3
+	VPSHUFD $0x4E, X3, X5
+	VPADDD X5, X3, X3
+	VPSHUFD $0xB1, X3, X5
+	VPADDD X5, X3, X3
+	VMOVD X3, AX
+	VEXTRACTI128 $1, Y4, X5
+	VPADDD X5, X4, X4
+	VPSHUFD $0x4E, X4, X5
+	VPADDD X5, X4, X4
+	VPSHUFD $0xB1, X4, X5
+	VPADDD X5, X4, X4
+	VMOVD X4, BX
+	MOVL AX, cntFrom+32(FP)
+	MOVL BX, cntTo+36(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package score
+
+// useConnsAVX2 is false on architectures without the gathered conns
+// kernel; every scan takes the portable unrolled path.
+const useConnsAVX2 = false
+
+// connsCountAVX2 is never called when useConnsAVX2 is false; this stub
+// keeps the portable build compiling.
+func connsCountAVX2(nbrs *int32, n int, part *int16, from, to int32) (cntFrom, cntTo int32) {
+	panic("score: connsCountAVX2 without AVX2 support")
+}

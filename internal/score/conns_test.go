@@ -1,0 +1,119 @@
+package score
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// TestConnsCountKernelMatchesScalar drives the gathered count kernel over
+// random complete partitions and checks it against the obvious scalar count
+// for every (vertex, from, to) shape, including from == to (the interior
+// predicate's usage) and parts absent from the neighborhood.
+func TestConnsCountKernelMatchesScalar(t *testing.T) {
+	if !useConnsAVX2 {
+		t.Skip("gathered conns kernel inactive (no AVX2, FF_NOAVX2 or FF_NOBATCH)")
+	}
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 12 + r.Intn(120)
+		g := graph.GNP(n, 0.35, seed+1) // dense enough for degrees past 8
+		k := 2 + r.Intn(10)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(r.Intn(k))
+		}
+		p, err := partition.FromAssignment(g, assign, k)
+		if err != nil {
+			return false
+		}
+		part := p.PartView16()
+		for trial := 0; trial < 50; trial++ {
+			v := r.Intn(n)
+			nbrs := g.Neighbors(v)
+			if len(nbrs) < 8 {
+				continue
+			}
+			from := int32(r.Intn(k))
+			to := int32(r.Intn(k))
+			if trial%5 == 0 {
+				to = from
+			}
+			n8 := len(nbrs) &^ 7
+			gotF, gotT := connsCountAVX2(&nbrs[0], n8, &part[0], from, to)
+			var wantF, wantT int32
+			for _, u := range nbrs[:n8] {
+				if part[u] == int16(from) {
+					wantF++
+				}
+				if part[u] == int16(to) {
+					wantT++
+				}
+			}
+			if gotF != wantF || gotT != wantT {
+				t.Logf("seed %d v %d from %d to %d: kernel (%d,%d), want (%d,%d)",
+					seed, v, from, to, gotF, gotT, wantF, wantT)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNeighborsAllInMatchesReference checks the interior predicate against
+// its specification on random graphs, both complete and incomplete
+// partitions, whatever kernel path is active.
+func TestNeighborsAllInMatchesReference(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(80)
+		g := graph.GNP(n, 0.3, seed+2)
+		k := 2 + r.Intn(6)
+		p := partition.New(g, k)
+		// Leave a random suffix unassigned on odd seeds.
+		assignUpTo := n
+		if seed%2 == 1 {
+			assignUpTo = 1 + r.Intn(n)
+		}
+		for v := 0; v < assignUpTo; v++ {
+			p.Assign(v, r.Intn(k))
+		}
+		// Bias some neighborhoods to be uniform so the "interior" answer is
+		// exercised, not just the early exit.
+		if assignUpTo == n && n > 4 {
+			v := r.Intn(n)
+			a := p.Part(v)
+			for _, u := range g.Neighbors(v) {
+				p.Move(int(u), a)
+			}
+		}
+		for trial := 0; trial < 60; trial++ {
+			v := r.Intn(n)
+			a := r.Intn(k)
+			if p.Part(v) >= 0 && trial%2 == 0 {
+				a = p.Part(v)
+			}
+			want := true
+			for _, u := range g.Neighbors(v) {
+				if b := p.Part(int(u)); b != a && b != partition.Unassigned {
+					want = false
+					break
+				}
+			}
+			if got := NeighborsAllIn(p, v, a); got != want {
+				t.Logf("seed %d v %d a %d: NeighborsAllIn = %v, want %v", seed, v, a, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -252,8 +252,7 @@ func (t *Tracker) Apply(v, to int) {
 	if t.connValid && t.connV == v && t.connFrom == from && t.connTo == to {
 		t.p.MoveConns(v, to, t.connA, t.connB, t.connOther)
 		t.connValid = false
-		t.applyTerm(from, t.connTermA)
-		t.applyTerm(to, t.connTermB)
+		t.applyTermPair(from, to, t.connTermA, t.connTermB)
 		t.bump()
 		return
 	}
@@ -320,6 +319,35 @@ func (t *Tracker) applyTerm(a int, nw float64) {
 	// waiting for the operation cadence. The trigger depends only on the
 	// committed move sequence, so determinism is preserved.
 	if !math.IsInf(old, 1) && math.Abs(old) > 1e6*(1+math.Abs(t.finite+t.comp)) {
+		t.Rebuild()
+	}
+}
+
+// applyTermPair installs the two post-move terms a cache-hit Apply carries,
+// straight-lining the all-finite case that is every Metropolis accept: the
+// infinity bookkeeping collapses to one entry test and the tower-residue
+// check runs once against the final total instead of once per term (the
+// check is a conservative resum heuristic either way; its trigger still
+// depends only on the committed move sequence, so determinism holds).
+func (t *Tracker) applyTermPair(pa, pb int, na, nb float64) {
+	if t.infs != 0 || math.IsInf(na, 1) || math.IsInf(nb, 1) {
+		t.applyTerm(pa, na)
+		t.applyTerm(pb, nb)
+		return
+	}
+	// infs == 0 means both old terms are finite too.
+	oa, ob := t.term[pa], t.term[pb]
+	if oa != na {
+		t.add(-oa)
+		t.add(na)
+		t.term[pa] = na
+	}
+	if ob != nb {
+		t.add(-ob)
+		t.add(nb)
+		t.term[pb] = nb
+	}
+	if lim := 1e6 * (1 + math.Abs(t.finite+t.comp)); math.Abs(oa) > lim || math.Abs(ob) > lim {
 		t.Rebuild()
 	}
 }
@@ -399,7 +427,7 @@ func moveConns(p *partition.P, v, from, to int) (connA, connB, other float64) {
 				// integer adds with no float dependency chain. Sums of 1.0
 				// below 2^53 equal float64(count) exactly, so this is
 				// bit-identical to the weighted accumulation.
-				var cA0, cB0, cA1, cB1, cA2, cB2, cA3, cB3 int32
+				var cA, cB int32
 				// Every adjacency entry is a valid vertex id below
 				// len(part) by graph construction, so the data-dependent
 				// part lookups go through a raw pointer: the compiler
@@ -407,49 +435,34 @@ func moveConns(p *partition.P, v, from, to int) (connA, connB, other float64) {
 				// per-load bound checks it would otherwise emit are a
 				// measurable fraction of this loop.
 				pp := unsafe.Pointer(&part[0])
-				at := func(u int32) int16 {
-					return *(*int16)(unsafe.Add(pp, uintptr(uint32(u))*2))
-				}
 				i := 0
-				for ; i+4 <= len(nbrs); i += 4 {
-					b0, b1 := at(nbrs[i]), at(nbrs[i+1])
-					b2, b3 := at(nbrs[i+2]), at(nbrs[i+3])
-					if b0 == f16 {
-						cA0++
-					}
-					if b0 == t16 {
-						cB0++
-					}
-					if b1 == f16 {
-						cA1++
-					}
-					if b1 == t16 {
-						cB1++
-					}
-					if b2 == f16 {
-						cA2++
-					}
-					if b2 == t16 {
-						cB2++
-					}
-					if b3 == f16 {
-						cA3++
-					}
-					if b3 == t16 {
-						cB3++
-					}
+				if useConnsAVX2 && len(nbrs) >= connsKernelMinDeg {
+					// Eight neighbors per gathered iteration; the scalar
+					// loop below mops up the ragged tail. Exact integer
+					// counts, so the split is bit-identical to the
+					// all-scalar loop.
+					n8 := len(nbrs) &^ 7
+					cA, cB = connsCountAVX2(&nbrs[0], n8, &part[0], int32(from), int32(to))
+					i = n8
 				}
+				// One accumulator pair, not an unrolled bank: the loop
+				// body compiles to two CMOV increments per neighbor, and
+				// keeping the live set at two counters plus two compare
+				// operands is what keeps every value in registers — an
+				// unrolled four-pair variant spills counters and loaded
+				// parts to the stack each iteration and measures slower
+				// than its extra ILP recovers.
 				for ; i < len(nbrs); i++ {
-					b := at(nbrs[i])
+					b := *(*int16)(unsafe.Add(pp, uintptr(uint32(nbrs[i]))*2))
 					if b == f16 {
-						cA0++
+						cA++
 					}
 					if b == t16 {
-						cB0++
+						cB++
 					}
 				}
-				connA = float64((cA0 + cA1) + (cA2 + cA3))
-				connB = float64((cB0 + cB1) + (cB2 + cB3))
+				connA = float64(cA)
+				connB = float64(cB)
 				return connA, connB, wd - connA - connB
 			}
 			wd := g.WeightedDegree(v)
@@ -520,6 +533,56 @@ func moveConns(p *partition.P, v, from, to int) (connA, connB, other float64) {
 		}
 	}
 	return connA, connB, other
+}
+
+// connsKernelMinDeg is the degree below which the gathered count kernel is
+// not worth calling: its fixed per-call cost (operand broadcasts, the
+// horizontal lane sums, the call itself) is ~8 scalar iterations, so short
+// adjacencies — the common case on the paper's geometric instances — stay
+// on the unrolled scalar loop and only genuinely wide vertices (coarsened
+// multilevel graphs, hubs) pay the kernel's setup for its 8-per-cycle
+// steady state. Either path produces identical exact integer counts, so
+// the crossover is pure tuning with no result drift.
+const connsKernelMinDeg = 32
+
+// NeighborsAllIn reports whether every assigned neighbor of v lies in part
+// a — v is "interior" to a and no single move of v can reduce any cut-based
+// objective's crossing weight, which is what lets refine.KWay skip the full
+// candidate scan for the (vast, on locality-ordered graphs) majority of
+// vertices. On a complete partition with an int16 mirror the check is the
+// gathered count kernel when available; the portable path is a plain scan
+// with an early exit.
+func NeighborsAllIn(p *partition.P, v, a int) bool {
+	g := p.Graph()
+	nbrs := g.Neighbors(v)
+	if part := p.PartView16(); part != nil && p.Complete() {
+		a16 := int16(a)
+		if useConnsAVX2 && len(nbrs) >= connsKernelMinDeg {
+			n8 := len(nbrs) &^ 7
+			cnt, _ := connsCountAVX2(&nbrs[0], n8, &part[0], int32(a), int32(a))
+			if int(cnt) != n8 {
+				return false
+			}
+			for _, u := range nbrs[n8:] {
+				if part[u] != a16 {
+					return false
+				}
+			}
+			return true
+		}
+		for _, u := range nbrs {
+			if part[u] != a16 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, u := range nbrs {
+		if b := p.Part(int(u)); b != a && b != partition.Unassigned {
+			return false
+		}
+	}
+	return true
 }
 
 // moveStats computes, in one O(deg v) adjacency scan, the (cut, ordered

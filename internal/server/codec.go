@@ -53,6 +53,12 @@ type PartitionRequest struct {
 	// CoarsenTo is the V-cycle coarsening cutoff in vertices (0 = a default
 	// scaled to k); meaningful with multilevel or memetic_crossover.
 	CoarsenTo int `json:"coarsen_to,omitempty"`
+	// Relayout renumbers the graph with the deterministic locality ordering
+	// before the solve (cache-friendlier adjacency walks for the hot-path
+	// solvers); parts come back in the request's vertex numbering either
+	// way. Changes stochastic trajectories for a given seed, so it is part
+	// of the cache and federation identity.
+	Relayout bool `json:"relayout,omitempty"`
 
 	// Wait selects synchronous (default) or asynchronous handling. With
 	// wait=false the server replies 202 with a job id to poll at
@@ -200,6 +206,7 @@ func (r *PartitionRequest) options(maxBudget time.Duration, maxParallelism int) 
 		Parallelism: r.Parallelism,
 		Multilevel:  r.Multilevel,
 		CoarsenTo:   r.CoarsenTo,
+		Relayout:    r.Relayout,
 		WarmStart:   r.WarmStart,
 
 		MemeticCrossover: r.MemeticCrossover,
@@ -275,8 +282,12 @@ func cacheKey(digest string, opt ff.Options) string {
 	if opt.MemeticCrossover {
 		mem = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%d|%s",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo, mem, warmTag(opt))
+	rl := 0
+	if opt.Relayout {
+		rl = 1
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, int64(opt.Budget), opt.MaxSteps, opt.Parallelism, ml, opt.CoarsenTo, mem, rl, warmTag(opt))
 }
 
 // exchangeKey pairs fanned-out federated jobs across islands: the graph
@@ -294,6 +305,13 @@ func exchangeKey(digest string, opt ff.Options) string {
 	if opt.MemeticCrossover {
 		mem = 1
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%s",
-		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo, mem, warmTag(opt))
+	rl := 0
+	if opt.Relayout {
+		rl = 1
+	}
+	// Relayout must match across the fleet: all islands exchange candidates
+	// in relabeled vertex ids (the ordering is a deterministic function of
+	// the graph, so equal flags mean equal numberings).
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d|%d|%d|%d|%s",
+		digest, opt.Method, opt.K, opt.Objective, opt.Seed, opt.MaxSteps, ml, opt.CoarsenTo, mem, rl, warmTag(opt))
 }

@@ -61,12 +61,18 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, MaxSteps: 5, Parallelism: 4},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Multilevel: true},
 		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Multilevel: true, CoarsenTo: 64},
+		{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Relayout: true},
 	} {
 		k := cacheKey(d, v)
 		if keys[k] {
 			t.Fatalf("option change did not change key: %+v", v)
 		}
 		keys[k] = true
+	}
+	// Relayout is part of the federation identity too: islands exchanging
+	// candidates must agree on the vertex numbering those candidates use.
+	if exchangeKey(d, base) == exchangeKey(d, ff.Options{K: 2, Method: "fusion-fission", Objective: "mcut", Seed: 1, Budget: time.Second, Relayout: true}) {
+		t.Fatal("relayout ignored by exchangeKey")
 	}
 }
 

@@ -1,0 +1,98 @@
+package fusionfission
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/order"
+	"repro/internal/partition"
+)
+
+// TestRelayoutMatchesManualRelabel pins Options.Relayout end to end: the
+// facade's relayout run must equal relabeling the graph by hand, solving the
+// relabeled graph without the flag, and mapping the assignment back through
+// the inverse permutation — same Parts, bit-equal objectives. Step-capped
+// serial runs are deterministic, so this is exact equality, not similarity.
+func TestRelayoutMatchesManualRelabel(t *testing.T) {
+	g := graph.RandomGeometric(600, 0.08, 7)
+	opt := Options{
+		K: 8, Method: "annealing", Seed: 11,
+		Budget: time.Hour, MaxSteps: 4000,
+	}
+
+	opt.Relayout = true
+	got, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Relayout {
+		t.Fatal("Result.Relayout not reported")
+	}
+
+	perm := order.Locality(g)
+	rg, err := graph.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Relayout = false
+	manual, err := Partition(rg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := order.Inverse(perm)
+	want := make([]int32, len(manual.Parts))
+	for nv, a := range manual.Parts {
+		want[inv[nv]] = a
+	}
+	for v := range want {
+		if got.Parts[v] != want[v] {
+			t.Fatalf("vertex %d: facade relayout assigned %d, manual relabel %d", v, got.Parts[v], want[v])
+		}
+	}
+	if math.Float64bits(got.Mcut) != math.Float64bits(manual.Mcut) {
+		t.Fatalf("Mcut %v via facade relayout vs %v manual", got.Mcut, manual.Mcut)
+	}
+
+	// The returned Parts must be a valid assignment of the *caller's* graph
+	// whose statistics reproduce the reported objectives.
+	p, err := partition.FromAssignment(g, got.Parts, opt.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := objective.MCut.Evaluate(p); math.Float64bits(m) != math.Float64bits(got.Mcut) {
+		t.Fatalf("reported Mcut %v does not match Parts re-evaluated on the input graph (%v)", got.Mcut, m)
+	}
+}
+
+// TestRelayoutWarmStartRoundTrip: a warm seed given in caller numbering is
+// permuted into the relabeled solve and the floor guarantee still holds on
+// the way back out.
+func TestRelayoutWarmStartRoundTrip(t *testing.T) {
+	g := graph.RandomGeometric(400, 0.09, 3)
+	cold, err := Partition(g, Options{K: 6, Method: "annealing", Seed: 5, Budget: time.Hour, MaxSteps: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Partition(g, Options{
+		K: 6, Method: "annealing", Seed: 9,
+		Budget: time.Hour, MaxSteps: 50,
+		WarmStart: cold.Parts, Relayout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStart || !warm.Relayout {
+		t.Fatalf("flags not reported: warm=%v relayout=%v", warm.WarmStart, warm.Relayout)
+	}
+	// Floor guarantee across the permutation boundary: never worse than the
+	// repaired caller-numbering seed.
+	if warm.Mcut > cold.Mcut+1e-9 {
+		t.Fatalf("warm relayout run (%v) worse than its seed (%v)", warm.Mcut, cold.Mcut)
+	}
+	if _, err := partition.FromAssignment(g, warm.Parts, 6); err != nil {
+		t.Fatalf("parts not in caller numbering: %v", err)
+	}
+}
